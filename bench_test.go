@@ -1,0 +1,247 @@
+package maya_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Each
+// Benchmark prints the experiment's rows once — running
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation at MAYA_EXP_SCALE=quick (default;
+// set MAYA_EXP_SCALE=full for the paper-sized sweeps). Experiment
+// state (trained estimator suites, accuracy sweeps, searches) is
+// memoized in a shared environment, so repeated benchmark iterations
+// measure cache-hit cost while the first iteration does the work.
+//
+// Micro-benchmarks at the bottom measure the core engines themselves
+// (emulation, simulation, forest inference, CMA-ES) for -benchmem.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"maya"
+	"maya/internal/core"
+	"maya/internal/emulator"
+	"maya/internal/estimator"
+	"maya/internal/experiments"
+	"maya/internal/forest"
+	"maya/internal/framework"
+	"maya/internal/hardware"
+	"maya/internal/models"
+	"maya/internal/prand"
+	"maya/internal/sim"
+	"maya/internal/trace"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	printedMu    sync.Mutex
+	printed      = map[string]bool{}
+)
+
+func env() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.ScaleFromEnv())
+	})
+	return benchEnv
+}
+
+// runExperiment executes one registered experiment, printing its
+// table the first time.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, env())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		printedMu.Lock()
+		if !printed[id] {
+			printed[id] = true
+			fmt.Fprintln(os.Stdout)
+			tbl.Render(os.Stdout)
+		}
+		printedMu.Unlock()
+	}
+}
+
+// --- One benchmark per paper artifact (DESIGN.md experiment index) ---
+
+func BenchmarkFig2CrossDeployment(b *testing.B)    { runExperiment(b, "fig2") }
+func BenchmarkTable1Capabilities(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkTable2KnobEffects(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig7PredictionAccuracy(b *testing.B) { runExperiment(b, "fig7") }
+func BenchmarkFig8CostOfSelection(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkFig9ErrorCDF(b *testing.B)           { runExperiment(b, "fig9") }
+func BenchmarkTable3OracleBreakdown(b *testing.B)  { runExperiment(b, "table3") }
+func BenchmarkTable4Generality(b *testing.B)       { runExperiment(b, "table4") }
+func BenchmarkFig10ResNet(b *testing.B)            { runExperiment(b, "fig10") }
+func BenchmarkFig11Search(b *testing.B)            { runExperiment(b, "fig11") }
+func BenchmarkFig12HyperscaleMFU(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13StackRuntime(b *testing.B)      { runExperiment(b, "fig13") }
+func BenchmarkFig14DedupAblation(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFig15TrialBreakdown(b *testing.B)    { runExperiment(b, "fig15") }
+func BenchmarkTable6SearchStages(b *testing.B)     { runExperiment(b, "table6") }
+func BenchmarkTable7KernelMAPEH100(b *testing.B)   { runExperiment(b, "table7") }
+func BenchmarkTable8KernelMAPEV100(b *testing.B)   { runExperiment(b, "table8") }
+func BenchmarkTable9KernelMAPEA40(b *testing.B)    { runExperiment(b, "table9") }
+func BenchmarkFig16SearchAlgorithms(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkTable10PruningTactics(b *testing.B)  { runExperiment(b, "table10") }
+
+// --- Engine micro-benchmarks ---
+
+// BenchmarkEmulateMegatronRank measures transparent-emulation
+// throughput: one GPT-3 2.7B rank, tp2/pp2, 4 microbatches.
+func BenchmarkEmulateMegatronRank(b *testing.B) {
+	m, err := framework.NewMegatron(framework.MegatronConfig{
+		Model: models.GPT3_2_7B(), NGPUs: 8, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4,
+		ActRecompute: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster := hardware.DGXV100(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ops int
+	for i := 0; i < b.N; i++ {
+		em := emulator.New(emulator.Config{Rank: 0, World: 8, GPU: cluster.Node.GPU, Host: cluster.Host})
+		if err := m.Run(0, em); err != nil {
+			b.Fatal(err)
+		}
+		ops = len(em.Trace().Ops)
+	}
+	b.ReportMetric(float64(ops), "trace-ops")
+}
+
+// BenchmarkSimulate measures discrete-event simulation throughput on
+// an annotated 8-worker job.
+func BenchmarkSimulate(b *testing.B) {
+	m, err := framework.NewMegatron(framework.MegatronConfig{
+		Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster := hardware.DGXV100(1)
+	var workers []*trace.Worker
+	for r := 0; r < 8; r++ {
+		em := emulator.New(emulator.Config{Rank: r, World: 8, GPU: cluster.Node.GPU, Host: cluster.Host})
+		if err := m.Run(r, em); err != nil {
+			b.Fatal(err)
+		}
+		workers = append(workers, em.Trace())
+	}
+	job, err := trace.NewJob(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Constant annotation is enough for a throughput benchmark.
+	totalOps := 0
+	for _, w := range job.Workers {
+		for i := range w.Ops {
+			if w.Ops[i].IsDeviceWork() {
+				w.Ops[i].Dur = 20 * time.Microsecond
+			}
+			totalOps++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(job, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(totalOps)/float64(b.Elapsed().Seconds()/float64(b.N))/1e6, "Mops/s")
+}
+
+// BenchmarkForestPredict measures kernel-estimator inference.
+func BenchmarkForestPredict(b *testing.B) {
+	rng := prand.New(1)
+	samples := make([]forest.Sample, 2000)
+	for i := range samples {
+		x := make([]float64, 14)
+		for j := range x {
+			x[j] = rng.Float64() * 30
+		}
+		samples[i] = forest.Sample{X: x, Y: x[0] + x[1]}
+	}
+	f, err := forest.Train(samples, forest.Options{Seed: 1, Trees: 16, MaxDepth: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := samples[17].X
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(probe)
+	}
+}
+
+// BenchmarkEstimatorAnnotate measures trace annotation end to end.
+func BenchmarkEstimatorAnnotate(b *testing.B) {
+	cluster := hardware.DGXV100(1)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = pred // construction above warms the shared suite cache
+	m, err := framework.NewMegatron(framework.MegatronConfig{
+		Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := emulator.New(emulator.Config{Rank: 0, World: 8, GPU: cluster.Node.GPU, Host: cluster.Host})
+	if err := m.Run(0, em); err != nil {
+		b.Fatal(err)
+	}
+	job, err := trace.NewJob([]*trace.Worker{em.Trace()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite, _, err := core.SuiteFor(cluster, core.DefaultOracle(cluster), estimator.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.Annotate(job, nil, nil)
+	}
+}
+
+// BenchmarkEndToEndPrediction is the headline number: full pipeline
+// latency for one configuration (the unit of work in a search).
+func BenchmarkEndToEndPrediction(b *testing.B) {
+	cluster := hardware.DGXV100(1)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := models.GPT3_2_7B()
+	w, err := maya.NewMegatron(maya.MegatronConfig{
+		Model: model, NGPUs: 8, GlobalBatch: 64, TP: 2, PP: 2, MicroBatches: 8,
+		ActRecompute: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flops := model.TrainFLOPsPerIter(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := pred.Predict(w, flops, maya.BF16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.OOM {
+			b.Fatal("unexpected OOM")
+		}
+	}
+}

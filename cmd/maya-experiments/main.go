@@ -1,0 +1,44 @@
+// Command maya-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	maya-experiments -list              # show experiment ids
+//	maya-experiments -exp fig7          # one experiment
+//	maya-experiments -exp all           # everything
+//	MAYA_EXP_SCALE=full maya-experiments -exp fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maya/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	env := experiments.NewEnv(experiments.ScaleFromEnv())
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		t, err := experiments.Run(id, env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maya-experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+}

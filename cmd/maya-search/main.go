@@ -1,0 +1,62 @@
+// Command maya-search finds cost-optimal training recipes by
+// black-box search over the Megatron configuration space, evaluating
+// every candidate through Maya's emulation pipeline.
+//
+// Example:
+//
+//	maya-search -cluster 64xH100 -model gpt3-18.4b -batch 256 -algo cma -budget 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maya"
+	"maya/internal/models"
+)
+
+func main() {
+	var (
+		clusterSpec = flag.String("cluster", "32xH100", "cluster spec")
+		modelName   = flag.String("model", "gpt3-18.4b", "model preset")
+		batch       = flag.Int("batch", 256, "global batch size")
+		algo        = flag.String("algo", "cma", "cma | oneplusone | pso | twopointsde | random | grid")
+		budget      = flag.Int("budget", 400, "sampled configurations budget")
+		parallel    = flag.Int("parallel", 8, "concurrent trials")
+		noPrune     = flag.Bool("no-prune", false, "disable fidelity-preserving pruning")
+	)
+	flag.Parse()
+
+	cluster, err := maya.ClusterByName(*clusterSpec)
+	fatalIf(err)
+	mdl, err := models.ByName(*modelName)
+	fatalIf(err)
+
+	fmt.Fprintf(os.Stderr, "maya-search: %s on %s, algorithm=%s budget=%d\n",
+		mdl.Name, cluster.Name, *algo, *budget)
+
+	out, err := maya.FindRecipe(
+		maya.SearchProblem{Model: mdl, Cluster: cluster, GlobalBatch: *batch},
+		maya.ProfileLLM,
+		maya.SearchOptions{
+			Algorithm: *algo, Budget: *budget, Parallel: *parallel,
+			DisablePruning: *noPrune, Seed: 7,
+		})
+	fatalIf(err)
+
+	fmt.Printf("best recipe:   %s\n", out.Best.Knobs)
+	fmt.Printf("  iteration:   %v\n", out.Best.IterTime)
+	fmt.Printf("  MFU:         %.1f%%\n", out.Best.MFU*100)
+	fmt.Printf("  peak memory: %.1f GiB\n", float64(out.Best.PeakMem)/(1<<30))
+	fmt.Printf("trials: %d executed, %d cached, %d pruned, %d invalid (%s in %v)\n",
+		out.Stats.Executed, out.Stats.Cached, out.Stats.Skipped, out.Stats.Invalid,
+		out.Stopped, out.Elapsed.Round(1e6))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maya-search:", err)
+		os.Exit(1)
+	}
+}

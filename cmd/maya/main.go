@@ -1,0 +1,80 @@
+// Command maya predicts the performance of one Megatron-LM training
+// recipe on a cluster, without GPUs.
+//
+// Example:
+//
+//	maya -cluster 32xH100 -model gpt3-18.4b -batch 256 -tp 2 -pp 4 -micro 8 -seqpar
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"maya"
+	"maya/internal/models"
+)
+
+func main() {
+	var (
+		clusterSpec = flag.String("cluster", "32xH100", "cluster spec (e.g. 8xV100, 64xH100, 8xA40)")
+		modelName   = flag.String("model", "gpt3-18.4b", "model preset (gpt3-1.3b/2.7b/18.4b/145.6b, llama2-7b, ...)")
+		batch       = flag.Int("batch", 256, "global batch size (sequences)")
+		tp          = flag.Int("tp", 1, "tensor-parallel degree")
+		pp          = flag.Int("pp", 1, "pipeline-parallel degree")
+		micro       = flag.Int("micro", 1, "number of microbatches")
+		virtual     = flag.Int("virtual", 1, "virtual pipeline stages (interleaving)")
+		seqpar      = flag.Bool("seqpar", false, "sequence parallelism")
+		recompute   = flag.Bool("recompute", false, "activation recomputation")
+		distopt     = flag.Bool("distopt", false, "distributed optimizer")
+		actual      = flag.Bool("actual", false, "also measure on the synthetic silicon (ground truth)")
+		asJSON      = flag.Bool("json", false, "emit JSON")
+	)
+	flag.Parse()
+
+	cluster, err := maya.ClusterByName(*clusterSpec)
+	fatalIf(err)
+	mdl, err := models.ByName(*modelName)
+	fatalIf(err)
+
+	cfg := maya.MegatronConfig{
+		Model: mdl, NGPUs: cluster.TotalGPUs(), GlobalBatch: *batch,
+		TP: *tp, PP: *pp, MicroBatches: *micro, VirtualStages: *virtual,
+		SeqParallel: *seqpar, ActRecompute: *recompute, DistOptimizer: *distopt,
+	}
+	w, err := maya.NewMegatron(cfg)
+	fatalIf(err)
+
+	fmt.Fprintf(os.Stderr, "maya: training estimators for %s (cached after first run)...\n", cluster.Name)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	fatalIf(err)
+
+	flops := mdl.TrainFLOPsPerIter(*batch)
+	rep, err := pred.Predict(w, flops, maya.BF16)
+	fatalIf(err)
+
+	out := map[string]any{"predicted": rep}
+	if *actual {
+		act, err := pred.MeasureActual(w, flops, maya.BF16)
+		fatalIf(err)
+		out["actual"] = act
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(out))
+		return
+	}
+	fmt.Println(rep)
+	if *actual {
+		fmt.Println(out["actual"])
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maya:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Hyperscale study: predict GPT-3 145.6B training across thousands of
+// GPUs. Profiled collective data cannot exist at this scale, so the
+// predictor switches to the built-in hierarchical network simulator,
+// and selective launch emulates only one worker per pipeline stage
+// (§7.4 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maya"
+)
+
+func main() {
+	model := maya.GPT3_145_6B()
+	// Reduced depth keeps this example snappy; the scaling trend is
+	// identical, each stage just repeats fewer layers.
+	model.Layers = 32
+
+	const (
+		tp           = 8
+		pp           = 8
+		globalBatch  = 12288
+		microbatches = 64
+	)
+
+	fmt.Printf("%-8s %-6s %12s %8s %12s\n", "gpus", "dp", "iter time", "MFU", "stack time")
+	for _, dp := range []int{16, 32, 64, 128} {
+		ngpus := tp * pp * dp
+		cluster := maya.DGXH100(ngpus / 8)
+
+		pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred = pred.WithNetworkSimulator()
+
+		job, err := maya.NewMegatron(maya.MegatronConfig{
+			Model: model, NGPUs: ngpus, GlobalBatch: globalBatch,
+			TP: tp, PP: pp, MicroBatches: microbatches, DistOptimizer: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := pred.Predict(job, model.TrainFLOPsPerIter(globalBatch), maya.BF16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.OOM {
+			fmt.Printf("%-8d %-6d %12s\n", ngpus, dp, "OOM")
+			continue
+		}
+		fmt.Printf("%-8d %-6d %12v %7.1f%% %12v\n",
+			ngpus, dp, rep.IterTime, rep.MFU*100, rep.Stages.Total().Round(1e6))
+	}
+	fmt.Println("\nexpected: iteration time scales down with DP while MFU erodes (communication dominates)")
+}

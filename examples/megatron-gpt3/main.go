@@ -1,0 +1,65 @@
+// Compare Megatron-LM training recipes for GPT-3 2.7B on a 16xV100
+// cluster: the workload the paper's introduction motivates. Each
+// recipe is predicted by Maya and verified against the synthetic
+// silicon ("actual"), demonstrating the <5% prediction error that
+// makes recipe selection trustworthy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"maya"
+)
+
+func main() {
+	cluster := maya.DGXV100(2)
+	model := maya.GPT3_2_7B()
+	const globalBatch = 64
+
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	recipes := []maya.MegatronConfig{
+		{TP: 1, PP: 1, MicroBatches: 4},                                       // pure data parallel
+		{TP: 2, PP: 1, MicroBatches: 2},                                       // tensor parallel
+		{TP: 2, PP: 2, MicroBatches: 8},                                       // 3D parallel
+		{TP: 2, PP: 2, MicroBatches: 8, SeqParallel: true},                    // + sequence parallelism
+		{TP: 2, PP: 2, MicroBatches: 8, ActRecompute: true},                   // + recomputation
+		{TP: 2, PP: 4, MicroBatches: 16, VirtualStages: 2, SeqParallel: true}, // interleaved pipeline
+		{TP: 4, PP: 2, MicroBatches: 8, DistOptimizer: true},                  // distributed optimizer
+		{TP: 2, PP: 2, MicroBatches: 8, ActRecompute: true, DualPipe: true},   // DeepSeek bidirectional schedule
+	}
+
+	fmt.Printf("%-55s %12s %12s %7s %7s %9s\n",
+		"recipe", "predicted", "actual", "err", "MFU", "peak mem")
+	for i := range recipes {
+		r := &recipes[i]
+		r.Model = model
+		r.NGPUs = cluster.TotalGPUs()
+		r.GlobalBatch = globalBatch
+		job, err := maya.NewMegatron(*r)
+		if err != nil {
+			log.Fatalf("recipe %d: %v", i, err)
+		}
+		flops := model.TrainFLOPsPerIter(globalBatch)
+		p, err := pred.Predict(job, flops, maya.BF16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p.OOM {
+			fmt.Printf("%-55s %12s\n", r, "OOM")
+			continue
+		}
+		a, err := pred.MeasureActual(job, flops, maya.BF16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := math.Abs(p.IterTime.Seconds()-a.IterTime.Seconds()) / a.IterTime.Seconds() * 100
+		fmt.Printf("%-55s %12v %12v %6.2f%% %6.1f%% %6.1fGiB\n",
+			r, p.IterTime, a.IterTime, errPct, a.MFU*100, float64(p.PeakMemBytes)/(1<<30))
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: predict the iteration time, memory footprint and MFU of
+// a GPT-3 training recipe on a 32xH100 cluster — no GPUs involved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maya"
+)
+
+func main() {
+	cluster := maya.DGXH100(4) // 4 nodes x 8 H100 = 32 GPUs
+
+	// The predictor profiles synthetic microbenchmarks and trains its
+	// kernel-runtime estimators on first use (cached afterwards).
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An unmodified Megatron-style training job: GPT-3 18.4B with
+	// tensor parallelism 2, pipeline parallelism 4 and 8 microbatches.
+	model := maya.GPT3_18_4B()
+	recipe := maya.MegatronConfig{
+		Model:         model,
+		NGPUs:         cluster.TotalGPUs(),
+		GlobalBatch:   256,
+		TP:            2,
+		PP:            4,
+		MicroBatches:  8,
+		SeqParallel:   true,
+		ActRecompute:  true,
+		DistOptimizer: true,
+	}
+	job, err := maya.NewMegatron(recipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := pred.Predict(job, model.TrainFLOPsPerIter(recipe.GlobalBatch), maya.BF16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if report.OOM {
+		fmt.Printf("recipe does not fit: peak %0.1f GiB per GPU\n", float64(report.PeakMemBytes)/(1<<30))
+		return
+	}
+	fmt.Printf("cluster:        %s\n", cluster)
+	fmt.Printf("recipe:         %s\n", recipe)
+	fmt.Printf("iteration time: %v\n", report.IterTime)
+	fmt.Printf("comm (busy):    %v (exposed %v)\n", report.CommTime, report.ExposedComm)
+	fmt.Printf("peak memory:    %0.1f GiB per GPU\n", float64(report.PeakMemBytes)/(1<<30))
+	fmt.Printf("MFU:            %0.1f%%\n", report.MFU*100)
+	fmt.Printf("pipeline cost:  %v (emulate %v, simulate %v) for %d unique workers\n",
+		report.Stages.Total(), report.Stages.Emulate, report.Stages.Simulate, report.UniqueWorkers)
+}

@@ -1,0 +1,70 @@
+// Vision workloads: predict ResNet-152 distributed training on the
+// 8xA40 node (heterogeneous pairwise NVLink), with and without
+// torch.compile-style kernel fusion — the Fig. 10 scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maya"
+)
+
+func main() {
+	cluster := maya.A40Node()
+	model := maya.ResNet152()
+
+	pred, err := maya.NewPredictor(cluster, maya.ProfileVision)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-42s %12s %10s %9s\n", "config", "iter time", "MFU", "peak mem")
+	for _, batch := range []int{128, 256, 512} {
+		for _, compile := range []bool{false, true} {
+			job, err := maya.NewDataParallel(maya.DataParallelConfig{
+				CNN:         &model,
+				NGPUs:       cluster.TotalGPUs(),
+				GlobalBatch: batch,
+				Strategy:    maya.DDP,
+				Compile:     compile,
+				DType:       "fp16",
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := pred.Predict(job, model.TrainFLOPsPerIter(batch), maya.FP16)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := fmt.Sprintf("resnet152 batch=%d compile=%t", batch, compile)
+			if rep.OOM {
+				fmt.Printf("%-42s %12s\n", name, "OOM")
+				continue
+			}
+			fmt.Printf("%-42s %12v %9.1f%% %7.1fGiB\n",
+				name, rep.IterTime, rep.MFU*100, float64(rep.PeakMemBytes)/(1<<30))
+		}
+	}
+
+	// ZeRO stages trade memory for communication even on vision
+	// models; compare footprints at a fixed batch.
+	fmt.Println()
+	for _, strat := range []struct {
+		name string
+		s    maya.DPStrategy
+	}{{"ddp", maya.DDP}, {"zero1", maya.ZeRO1}, {"zero3", maya.ZeRO3}} {
+		job, err := maya.NewDataParallel(maya.DataParallelConfig{
+			CNN: &model, NGPUs: 8, GlobalBatch: 256, Strategy: strat.s,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := pred.Predict(job, model.TrainFLOPsPerIter(256), maya.FP16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s iter %v, peak %0.2f GiB, comm %v\n",
+			strat.name, rep.IterTime, float64(rep.PeakMemBytes)/(1<<30), rep.CommTime)
+	}
+}

@@ -1,0 +1,47 @@
+// Maya-Search: find a cost-optimal training recipe for GPT-3 18.4B on
+// 32xH100 with CMA-ES over the Table-5 knob space, every trial
+// evaluated by emulation — the end-to-end workflow that replaces
+// manual trial-and-error on expensive clusters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maya"
+)
+
+func main() {
+	cluster := maya.DGXH100(4)
+	model := maya.GPT3_18_4B()
+
+	out, err := maya.FindRecipe(
+		maya.SearchProblem{Model: model, Cluster: cluster, GlobalBatch: 256},
+		maya.ProfileLLM,
+		maya.SearchOptions{
+			Algorithm: "cma",
+			Budget:    150,
+			Parallel:  8,
+			Seed:      7,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("best recipe:    %s\n", out.Best.Knobs)
+	fmt.Printf("iteration time: %v\n", out.Best.IterTime)
+	fmt.Printf("MFU:            %.1f%%\n", out.Best.MFU*100)
+	fmt.Printf("peak memory:    %.1f GiB\n", float64(out.Best.PeakMem)/(1<<30))
+	fmt.Println()
+	fmt.Printf("trials: %d executed, %d cached, %d pruned by tactics, %d invalid\n",
+		out.Stats.Executed, out.Stats.Cached, out.Stats.Skipped, out.Stats.Invalid)
+	for tactic, n := range out.Stats.SkippedByTactic {
+		fmt.Printf("  %-24s %d skips\n", tactic, n)
+	}
+	fmt.Printf("search finished in %v (%s)\n", out.Elapsed.Round(1e6), out.Stopped)
+
+	fmt.Println("\nprogress (best MFU vs unique valid configs):")
+	for _, p := range out.Trajectory[:min(len(out.Trajectory), 12)] {
+		fmt.Printf("  %4d configs: %.1f%%\n", p.UniqueValid, p.BestMFU*100)
+	}
+}

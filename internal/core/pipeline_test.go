@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"maya/internal/estimator"
+	"maya/internal/framework"
+	"maya/internal/hardware"
+	"maya/internal/models"
+)
+
+func pipelineFor(t *testing.T, cluster hardware.Cluster, opts Options) (*Pipeline, *Pipeline) {
+	t.Helper()
+	oracle := DefaultOracle(cluster)
+	suite, _, err := SuiteFor(cluster, oracle, estimator.ProfileLLM)
+	if err != nil {
+		t.Fatalf("SuiteFor: %v", err)
+	}
+	p := &Pipeline{Cluster: cluster, Suite: suite, Opts: opts}
+	return p, p
+}
+
+func megatron(t *testing.T, cfg framework.MegatronConfig) *framework.Megatron {
+	t.Helper()
+	m, err := framework.NewMegatron(cfg)
+	if err != nil {
+		t.Fatalf("NewMegatron(%+v): %v", cfg, err)
+	}
+	return m
+}
+
+func relErr(a, b time.Duration) float64 {
+	return math.Abs(float64(a-b)) / float64(b)
+}
+
+func TestEndToEndPredictionAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	cluster := hardware.DGXV100(1)
+	p, _ := pipelineFor(t, cluster, Options{Validate: true})
+	oracle := DefaultOracle(cluster)
+
+	configs := []framework.MegatronConfig{
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2},
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 1, PP: 2, MicroBatches: 2},
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 4, PP: 2, MicroBatches: 2, SeqParallel: true},
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 4, MicroBatches: 4, ActRecompute: true},
+	}
+	for _, cfg := range configs {
+		m := megatron(t, cfg)
+		flops := cfg.Model.TrainFLOPsPerIter(cfg.GlobalBatch)
+		pred, err := p.Predict(m, flops, hardware.BF16)
+		if err != nil {
+			t.Fatalf("Predict(%s): %v", cfg, err)
+		}
+		actual, err := p.MeasureActual(m, oracle, flops, hardware.BF16)
+		if err != nil {
+			t.Fatalf("MeasureActual(%s): %v", cfg, err)
+		}
+		if pred.OOM || actual.OOM {
+			t.Fatalf("%s unexpectedly OOM (peak %d)", cfg, pred.PeakMemBytes)
+		}
+		e := relErr(pred.IterTime, actual.IterTime)
+		t.Logf("%s: pred %v actual %v err %.2f%% (mfu %.1f%%)", cfg, pred.IterTime, actual.IterTime, e*100, actual.MFU*100)
+		if e > 0.10 {
+			t.Errorf("%s: prediction error %.1f%% exceeds 10%%", cfg, e*100)
+		}
+		if pred.IterTime <= 0 {
+			t.Errorf("%s: non-positive iteration time", cfg)
+		}
+	}
+}
+
+func TestOraclePredictionBeatsLearnedOnAverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	cluster := hardware.DGXV100(1)
+	p, _ := pipelineFor(t, cluster, Options{})
+	oracle := DefaultOracle(cluster)
+	pOracle := &Pipeline{Cluster: cluster, Suite: p.Suite, Opts: Options{Oracle: oracle}}
+
+	var e2e, orc float64
+	configs := []framework.MegatronConfig{
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2},
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 4, MicroBatches: 2},
+		{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 4, PP: 2, MicroBatches: 2},
+	}
+	for _, cfg := range configs {
+		m := megatron(t, cfg)
+		actual, err := p.MeasureActual(m, oracle, 0, hardware.BF16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := p.Predict(m, 0, hardware.BF16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := pOracle.Predict(m, 0, hardware.BF16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2e += relErr(pe.IterTime, actual.IterTime)
+		orc += relErr(po.IterTime, actual.IterTime)
+	}
+	t.Logf("mean oracle err %.2f%%, mean e2e err %.2f%%", orc/3*100, e2e/3*100)
+	if orc > 0.05*3 {
+		t.Errorf("oracle error %.1f%% too large — simulator fidelity problem", orc/3*100)
+	}
+}
+
+func TestDedupPreservesPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	cluster := hardware.DGXV100(2)
+	p, _ := pipelineFor(t, cluster, Options{})
+	// 16 GPUs: tp2 x pp2 x dp4 — plenty of duplicate workers.
+	cfg := framework.MegatronConfig{Model: models.GPT3_1_3B(), NGPUs: 16, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 2}
+	m := megatron(t, cfg)
+
+	full := &Pipeline{Cluster: cluster, Suite: p.Suite, Opts: Options{NoDedup: true}}
+	ded := &Pipeline{Cluster: cluster, Suite: p.Suite, Opts: Options{}}
+	sel := &Pipeline{Cluster: cluster, Suite: p.Suite, Opts: Options{SelectiveLaunch: true}}
+
+	rf, err := full.Predict(m, 0, hardware.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ded.Predict(m, 0, hardware.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sel.Predict(m, 0, hardware.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.UniqueWorkers != 16 {
+		t.Errorf("no-dedup pipeline should simulate 16 workers, got %d", rf.UniqueWorkers)
+	}
+	if rd.UniqueWorkers >= rf.UniqueWorkers {
+		t.Errorf("dedup did not reduce workers: %d vs %d", rd.UniqueWorkers, rf.UniqueWorkers)
+	}
+	if rs.UniqueWorkers != 2 {
+		t.Errorf("selective launch should emulate one rank per pipeline stage (2), got %d", rs.UniqueWorkers)
+	}
+	if e := relErr(rd.IterTime, rf.IterTime); e > 0.02 {
+		t.Errorf("dedup changed prediction by %.2f%%: %v vs %v", e*100, rd.IterTime, rf.IterTime)
+	}
+	if e := relErr(rs.IterTime, rf.IterTime); e > 0.02 {
+		t.Errorf("selective launch changed prediction by %.2f%%: %v vs %v", e*100, rs.IterTime, rf.IterTime)
+	}
+}
+
+func TestOOMDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	cluster := hardware.DGXV100(1)
+	p, _ := pipelineFor(t, cluster, Options{})
+	// 18.4B on 8 V100-40GB without sharding: hopelessly over capacity.
+	cfg := framework.MegatronConfig{Model: models.GPT3_18_4B(), NGPUs: 8, GlobalBatch: 64, TP: 1, PP: 1, MicroBatches: 1}
+	m := megatron(t, cfg)
+	rep, err := p.Predict(m, 0, hardware.BF16)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if !rep.OOM {
+		t.Fatalf("expected OOM, got %v", rep)
+	}
+}
+
+func TestKnobsMoveMemoryTheRightWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	cluster := hardware.DGXV100(1)
+	p, _ := pipelineFor(t, cluster, Options{})
+	base := framework.MegatronConfig{Model: models.GPT3_2_7B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 4}
+
+	peak := func(cfg framework.MegatronConfig) int64 {
+		rep, err := p.Predict(megatron(t, cfg), 0, hardware.BF16)
+		if err != nil {
+			t.Fatalf("Predict(%s): %v", cfg, err)
+		}
+		return rep.PeakMemBytes
+	}
+
+	basePeak := peak(base)
+
+	rec := base
+	rec.ActRecompute = true
+	if p := peak(rec); p >= basePeak {
+		t.Errorf("activation recomputation did not reduce memory: %d -> %d", basePeak, p)
+	}
+
+	sp := base
+	sp.SeqParallel = true
+	if p := peak(sp); p >= basePeak {
+		t.Errorf("sequence parallelism did not reduce memory: %d -> %d", basePeak, p)
+	}
+
+	do := base
+	do.DistOptimizer = true
+	if p := peak(do); p >= basePeak {
+		t.Errorf("distributed optimizer did not reduce memory: %d -> %d", basePeak, p)
+	}
+
+	moreTP := base
+	moreTP.TP, moreTP.PP = 4, 2
+	if p := peak(moreTP); p >= basePeak {
+		t.Errorf("higher TP did not reduce memory: %d -> %d", basePeak, p)
+	}
+}
+
+func TestInterleavingReducesIterTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	cluster := hardware.DGXV100(1)
+	p, _ := pipelineFor(t, cluster, Options{})
+	base := framework.MegatronConfig{Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 4, MicroBatches: 8}
+	inter := base
+	inter.VirtualStages = 2
+
+	rb, err := p.Predict(megatron(t, base), 0, hardware.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := p.Predict(megatron(t, inter), 0, hardware.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.OOM || ri.OOM {
+		t.Fatalf("test configs must fit in memory: base OOM=%t inter OOM=%t (peak %d)", rb.OOM, ri.OOM, rb.PeakMemBytes)
+	}
+	if ri.IterTime >= rb.IterTime {
+		t.Errorf("interleaving (v=2) did not reduce iteration time: %v vs %v", ri.IterTime, rb.IterTime)
+	}
+}

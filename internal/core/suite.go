@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+
+	"maya/internal/estimator"
+	"maya/internal/hardware"
+	"maya/internal/silicon"
+)
+
+// suiteCache memoizes trained estimator suites per (cluster, profile
+// kind): profiling and forest training are the expensive part of
+// setup and are reused across every experiment on the same cluster.
+var suiteCache sync.Map // string -> *suiteEntry
+
+type suiteEntry struct {
+	once  sync.Once
+	suite *estimator.Suite
+	mape  map[string]float64
+	err   error
+}
+
+func profileKindName(k estimator.ProfileKind) string {
+	switch k {
+	case estimator.ProfileLLM:
+		return "llm"
+	case estimator.ProfileVision:
+		return "vision"
+	default:
+		return "all"
+	}
+}
+
+// SuiteFor returns the trained estimator suite for a cluster,
+// profiling the synthetic silicon and training forests on first use.
+// The held-out per-kernel MAPE (Tables 7-9) is returned alongside.
+func SuiteFor(cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind) (*estimator.Suite, map[string]float64, error) {
+	key := cluster.Name + "/" + profileKindName(kind)
+	v, _ := suiteCache.LoadOrStore(key, &suiteEntry{})
+	e := v.(*suiteEntry)
+	e.once.Do(func() {
+		profile, err := BuildProfile(oracle, cluster, kind)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.suite, e.mape, e.err = estimator.TrainAndEvaluate(profile, cluster, estimator.TrainOptions{})
+	})
+	return e.suite, e.mape, e.err
+}
+
+// DefaultOracle returns the canonical silicon instance for a cluster:
+// a fixed seed, so every experiment sees the same "hardware".
+func DefaultOracle(cluster hardware.Cluster) *silicon.Oracle {
+	return silicon.NewOracle(cluster, silicon.DefaultSeed)
+}

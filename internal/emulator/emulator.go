@@ -1,0 +1,412 @@
+// Package emulator implements Maya's transparent device emulator: a
+// cuda.Device whose compute is a no-op but whose state tracking is
+// real. Training code runs against it unmodified; the emulator
+// captures a complete trace of device interactions — kernels, memory
+// operations, synchronization and collectives — plus the host time
+// spent between calls, while detecting the errors a real device would
+// raise (out-of-memory, invalid handles).
+package emulator
+
+import (
+	"fmt"
+	"time"
+
+	"maya/internal/cuda"
+	"maya/internal/hardware"
+	"maya/internal/prand"
+	"maya/internal/trace"
+)
+
+// Config configures one emulated worker.
+type Config struct {
+	// Rank is the worker's global rank; World the job size.
+	Rank  int
+	World int
+	// GPU provides the memory capacity the allocator enforces.
+	GPU hardware.GPU
+	// Host provides the deterministic host-overhead model that stands
+	// in for the paper's wall-clock measurement between API calls.
+	Host hardware.Host
+	// Seed perturbs host-delay jitter so distinct workers (and
+	// distinct experiments) do not share identical noise.
+	Seed uint64
+}
+
+// Emulator implements cuda.Device by recording instead of executing.
+// It is not safe for concurrent use: like a CUDA context, each worker
+// owns exactly one.
+type Emulator struct {
+	cfg Config
+	tr  *trace.Worker
+	rng *prand.SplitMix64
+
+	mem        allocator
+	streams    map[cuda.Stream]struct{}
+	events     map[cuda.Event]int // handle -> record version (0 = never)
+	nextStream int64
+	nextEvent  int64
+}
+
+var _ cuda.Device = (*Emulator)(nil)
+
+// New returns an emulator for one worker.
+func New(cfg Config) *Emulator {
+	e := &Emulator{
+		cfg: cfg,
+		tr: &trace.Worker{
+			Rank:   cfg.Rank,
+			World:  cfg.World,
+			Device: cfg.GPU.Name,
+		},
+		rng:     prand.New(prand.HashInts(cfg.Seed, int64(cfg.Rank), 0x5eed)),
+		streams: map[cuda.Stream]struct{}{cuda.DefaultStream: {}},
+		events:  make(map[cuda.Event]int),
+	}
+	e.mem.capacity = cfg.GPU.MemBytes
+	e.mem.blocks = make(map[cuda.DevicePtr]int64)
+	return e
+}
+
+// Trace returns the captured worker trace. The emulator can continue
+// to be used afterwards; the returned value reflects ops so far.
+func (e *Emulator) Trace() *trace.Worker {
+	e.tr.PeakBytes = e.mem.peak
+	return e.tr
+}
+
+// hostDelay appends the modeled CPU time preceding an API call. The
+// paper measures wall-clock deltas; we synthesize them
+// deterministically from the host spec (see DESIGN.md substitutions).
+func (e *Emulator) hostDelay(kernelPrep bool) {
+	h := e.cfg.Host
+	d := h.DispatchOverhead
+	if kernelPrep {
+		d += h.KernelPrepOverhead
+	}
+	if h.JitterFrac > 0 && d > 0 {
+		// Uniform jitter in [-JitterFrac, +JitterFrac].
+		j := (e.rng.Float64()*2 - 1) * h.JitterFrac
+		d = time.Duration(float64(d) * (1 + j))
+	}
+	if d <= 0 {
+		return
+	}
+	e.tr.Append(trace.Op{Kind: trace.KindHostDelay, Dur: d})
+}
+
+// Ordinal implements cuda.Device.
+func (e *Emulator) Ordinal() int { return e.cfg.Rank }
+
+// MemGetInfo implements cuda.Device, answering from tracked
+// allocations so framework memory heuristics behave as on hardware.
+func (e *Emulator) MemGetInfo() (free, total int64, err error) {
+	e.hostDelay(false)
+	return e.mem.capacity - e.mem.used, e.mem.capacity, nil
+}
+
+// Malloc implements cuda.Device. Exceeding capacity returns
+// ErrOutOfMemory and marks the trace, which is how broken
+// configurations surface during search.
+func (e *Emulator) Malloc(bytes int64) (cuda.DevicePtr, error) {
+	e.hostDelay(false)
+	if bytes <= 0 {
+		return 0, fmt.Errorf("%w: malloc of %d bytes", cuda.ErrInvalidValue, bytes)
+	}
+	ptr, err := e.mem.alloc(bytes)
+	if err != nil {
+		e.tr.OOM = true
+		return 0, err
+	}
+	e.tr.Append(trace.Op{Kind: trace.KindMalloc, Bytes: bytes, Ptr: uint64(ptr)})
+	return ptr, nil
+}
+
+// Free implements cuda.Device.
+func (e *Emulator) Free(ptr cuda.DevicePtr) error {
+	e.hostDelay(false)
+	n, err := e.mem.free(ptr)
+	if err != nil {
+		return err
+	}
+	e.tr.Append(trace.Op{Kind: trace.KindFree, Bytes: n, Ptr: uint64(ptr)})
+	return nil
+}
+
+// StreamCreate implements cuda.Device.
+func (e *Emulator) StreamCreate() (cuda.Stream, error) {
+	e.hostDelay(false)
+	e.nextStream++
+	s := cuda.Stream(e.nextStream)
+	e.streams[s] = struct{}{}
+	return s, nil
+}
+
+// StreamDestroy implements cuda.Device.
+func (e *Emulator) StreamDestroy(s cuda.Stream) error {
+	e.hostDelay(false)
+	if s == cuda.DefaultStream {
+		return fmt.Errorf("%w: cannot destroy default stream", cuda.ErrInvalidValue)
+	}
+	if _, ok := e.streams[s]; !ok {
+		return fmt.Errorf("%w: stream %d", cuda.ErrInvalidHandle, s)
+	}
+	delete(e.streams, s)
+	return nil
+}
+
+// EventCreate implements cuda.Device.
+func (e *Emulator) EventCreate() (cuda.Event, error) {
+	e.hostDelay(false)
+	e.nextEvent++
+	ev := cuda.Event(e.nextEvent)
+	e.events[ev] = 0
+	return ev, nil
+}
+
+// EventDestroy implements cuda.Device.
+func (e *Emulator) EventDestroy(ev cuda.Event) error {
+	e.hostDelay(false)
+	if _, ok := e.events[ev]; !ok {
+		return fmt.Errorf("%w: event %d", cuda.ErrInvalidHandle, ev)
+	}
+	delete(e.events, ev)
+	return nil
+}
+
+// EventRecord implements cuda.Device, bumping the event's version so
+// later waits bind to this record, mirroring CUDA event reuse.
+func (e *Emulator) EventRecord(ev cuda.Event, s cuda.Stream) error {
+	e.hostDelay(false)
+	ver, ok := e.events[ev]
+	if !ok {
+		return fmt.Errorf("%w: event %d", cuda.ErrInvalidHandle, ev)
+	}
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	ver++
+	e.events[ev] = ver
+	e.tr.Append(trace.Op{
+		Kind:     trace.KindEventRecord,
+		Stream:   int64(s),
+		Event:    int64(ev),
+		EventVer: ver,
+	})
+	return nil
+}
+
+// StreamWaitEvent implements cuda.Device, capturing the version the
+// wait observed (0 means never recorded: a no-op, per CUDA).
+func (e *Emulator) StreamWaitEvent(s cuda.Stream, ev cuda.Event) error {
+	e.hostDelay(false)
+	ver, ok := e.events[ev]
+	if !ok {
+		return fmt.Errorf("%w: event %d", cuda.ErrInvalidHandle, ev)
+	}
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	e.tr.Append(trace.Op{
+		Kind:     trace.KindStreamWait,
+		Stream:   int64(s),
+		Event:    int64(ev),
+		EventVer: ver,
+	})
+	return nil
+}
+
+// EventSynchronize implements cuda.Device (host-blocking).
+func (e *Emulator) EventSynchronize(ev cuda.Event) error {
+	e.hostDelay(false)
+	ver, ok := e.events[ev]
+	if !ok {
+		return fmt.Errorf("%w: event %d", cuda.ErrInvalidHandle, ev)
+	}
+	e.tr.Append(trace.Op{Kind: trace.KindEventSync, Event: int64(ev), EventVer: ver})
+	return nil
+}
+
+// StreamSynchronize implements cuda.Device (host-blocking).
+func (e *Emulator) StreamSynchronize(s cuda.Stream) error {
+	e.hostDelay(false)
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	e.tr.Append(trace.Op{Kind: trace.KindStreamSync, Stream: int64(s)})
+	return nil
+}
+
+// DeviceSynchronize implements cuda.Device (host-blocking).
+func (e *Emulator) DeviceSynchronize() error {
+	e.hostDelay(false)
+	e.tr.Append(trace.Op{Kind: trace.KindDeviceSync})
+	return nil
+}
+
+// MemcpyAsync implements cuda.Device. Device-side pointers are
+// validated against live allocations; host pointers are represented
+// by 0 and resolved via the transfer kind, the ambiguity resolution
+// the paper describes for offloading workloads.
+func (e *Emulator) MemcpyAsync(dst, src cuda.DevicePtr, bytes int64, kind cuda.MemcpyKind, s cuda.Stream) error {
+	e.hostDelay(true)
+	if bytes < 0 {
+		return fmt.Errorf("%w: memcpy of %d bytes", cuda.ErrInvalidValue, bytes)
+	}
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	switch kind {
+	case cuda.MemcpyHostToDevice:
+		if err := e.mem.check(dst, bytes); err != nil {
+			return err
+		}
+	case cuda.MemcpyDeviceToHost:
+		if err := e.mem.check(src, bytes); err != nil {
+			return err
+		}
+	case cuda.MemcpyDeviceToDevice:
+		if err := e.mem.check(dst, bytes); err != nil {
+			return err
+		}
+		if err := e.mem.check(src, bytes); err != nil {
+			return err
+		}
+	}
+	e.tr.Append(trace.Op{
+		Kind:    trace.KindMemcpy,
+		Name:    "Memcpy" + kind.String(),
+		Stream:  int64(s),
+		Bytes:   bytes,
+		MemKind: kind.String(),
+	})
+	return nil
+}
+
+// MemsetAsync implements cuda.Device.
+func (e *Emulator) MemsetAsync(dst cuda.DevicePtr, bytes int64, s cuda.Stream) error {
+	e.hostDelay(true)
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	if err := e.mem.check(dst, bytes); err != nil {
+		return err
+	}
+	e.tr.Append(trace.Op{Kind: trace.KindMemset, Name: "Memset", Stream: int64(s), Bytes: bytes})
+	return nil
+}
+
+// LaunchKernel implements cuda.Device: the no-op transformation. The
+// kernel's metadata is recorded, nothing executes.
+func (e *Emulator) LaunchKernel(k cuda.KernelDesc, s cuda.Stream) error {
+	e.hostDelay(true)
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	e.tr.Append(trace.Op{
+		Kind:   trace.KindKernel,
+		Name:   k.Name,
+		Stream: int64(s),
+		Dims:   append([]int(nil), k.Dims...),
+		Bytes:  k.Bytes,
+		FLOPs:  k.FLOPs,
+		DType:  k.DType,
+		Extra:  k.Extra,
+	})
+	return nil
+}
+
+// LaunchCollective implements cuda.Device.
+func (e *Emulator) LaunchCollective(c cuda.CollectiveDesc, s cuda.Stream) error {
+	e.hostDelay(true)
+	if c.NRanks <= 0 || c.Rank < 0 || c.Rank >= c.NRanks {
+		return fmt.Errorf("%w: collective %s rank %d of %d", cuda.ErrInvalidValue, c.Op, c.Rank, c.NRanks)
+	}
+	if err := e.checkStream(s); err != nil {
+		return err
+	}
+	e.tr.Append(trace.Op{
+		Kind:   trace.KindCollective,
+		Name:   c.Op,
+		Stream: int64(s),
+		Bytes:  c.Bytes,
+		Coll: &trace.Collective{
+			Op:     c.Op,
+			CommID: c.CommID,
+			Seq:    c.Seq,
+			NRanks: c.NRanks,
+			Rank:   c.Rank,
+			Peer:   c.Peer,
+			Bytes:  c.Bytes,
+		},
+	})
+	return nil
+}
+
+// Mark implements cuda.Device, inserting an annotation op.
+func (e *Emulator) Mark(label string) error {
+	e.tr.Append(trace.Op{Kind: trace.KindMark, Name: label})
+	return nil
+}
+
+func (e *Emulator) checkStream(s cuda.Stream) error {
+	if _, ok := e.streams[s]; !ok {
+		return fmt.Errorf("%w: stream %d", cuda.ErrInvalidHandle, s)
+	}
+	return nil
+}
+
+// allocator tracks device memory: a bump allocator with explicit
+// frees, a live-byte counter and a high-water mark. Addresses are
+// never reused, so stale-pointer bugs in workloads are caught.
+type allocator struct {
+	capacity int64
+	used     int64
+	peak     int64
+	next     uint64
+	blocks   map[cuda.DevicePtr]int64
+}
+
+func (a *allocator) alloc(bytes int64) (cuda.DevicePtr, error) {
+	if a.used+bytes > a.capacity {
+		return 0, fmt.Errorf("%w: requested %d, in use %d of %d",
+			cuda.ErrOutOfMemory, bytes, a.used, a.capacity)
+	}
+	// 512-byte alignment, like the CUDA allocator.
+	a.next += 512
+	ptr := cuda.DevicePtr(a.next)
+	a.next += uint64(bytes)
+	a.blocks[ptr] = bytes
+	a.used += bytes
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return ptr, nil
+}
+
+func (a *allocator) free(ptr cuda.DevicePtr) (int64, error) {
+	n, ok := a.blocks[ptr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", cuda.ErrInvalidDevicePtr, uint64(ptr))
+	}
+	delete(a.blocks, ptr)
+	a.used -= n
+	return n, nil
+}
+
+// check validates that [ptr, ptr+bytes) lies inside a live block.
+func (a *allocator) check(ptr cuda.DevicePtr, bytes int64) error {
+	if ptr == 0 {
+		// Host pointer stand-in; nothing to validate device-side.
+		return nil
+	}
+	if n, ok := a.blocks[ptr]; ok {
+		if bytes > n {
+			return fmt.Errorf("%w: access of %d bytes in %d-byte block", cuda.ErrInvalidDevicePtr, bytes, n)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %#x", cuda.ErrInvalidDevicePtr, uint64(ptr))
+}

@@ -1,0 +1,241 @@
+package estimator
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"maya/internal/hardware"
+)
+
+// CollectiveModel predicts collective runtimes from profiled
+// bandwidth curves, the approach the paper takes for the small (<10)
+// set of network operations: profile intra-host and inter-host link
+// characteristics across sizes and participant counts, then
+// interpolate within the profiled range.
+type CollectiveModel struct {
+	cluster hardware.Cluster
+	curves  map[curveKey]*curve
+	// byScope indexes the available participant counts per (op, scope)
+	// for nearest-neighbor fallback on unprofiled group sizes.
+	byScope map[scopeKey][]int
+}
+
+type curveKey struct {
+	op     string
+	intra  bool
+	nranks int
+}
+
+type scopeKey struct {
+	op    string
+	intra bool
+}
+
+// curve is a piecewise-linear map from log2(bytes) to log(ns).
+type curve struct {
+	xs, ys []float64
+}
+
+func (c *curve) at(x float64) float64 {
+	n := len(c.xs)
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return c.ys[0]
+	case x <= c.xs[0]:
+		// Below the profiled range the operation is latency-bound:
+		// the smallest profiled time is an upper bound, never
+		// extrapolate a local wiggle outward.
+		return c.ys[0]
+	case x >= c.xs[n-1]:
+		// Above the range, bandwidth-bound behavior: extrapolate with
+		// the edge slope clamped to [0, 1.5] (log-time vs log-bytes
+		// slope of a bandwidth-bound transfer is 1).
+		slope := (c.ys[n-1] - c.ys[n-2]) / (c.xs[n-1] - c.xs[n-2])
+		if slope < 0 {
+			slope = 0
+		}
+		if slope > 1.5 {
+			slope = 1.5
+		}
+		return c.ys[n-1] + slope*(x-c.xs[n-1])
+	}
+	i := sort.SearchFloat64s(c.xs, x)
+	x0, x1 := c.xs[i-1], c.xs[i]
+	y0, y1 := c.ys[i-1], c.ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// trainCollectiveModel fits curves from collective profile samples.
+func trainCollectiveModel(cluster hardware.Cluster, samples []ProfileSample) *CollectiveModel {
+	type acc struct {
+		sum   float64
+		count int
+	}
+	points := make(map[curveKey]map[float64]*acc)
+	m := &CollectiveModel{
+		cluster: cluster,
+		curves:  make(map[curveKey]*curve),
+		byScope: make(map[scopeKey][]int),
+	}
+	for i := range samples {
+		ps := &samples[i]
+		c := ps.Op.Coll
+		if c == nil || ps.Dur <= 0 || c.Bytes <= 0 {
+			continue
+		}
+		key := curveKey{op: c.Op, intra: m.allSameNode(ps.Ranks), nranks: c.NRanks}
+		if points[key] == nil {
+			points[key] = make(map[float64]*acc)
+		}
+		x := math.Log2(float64(c.Bytes))
+		a := points[key][x]
+		if a == nil {
+			a = &acc{}
+			points[key][x] = a
+		}
+		a.sum += math.Log(float64(ps.Dur))
+		a.count++
+	}
+	for key, pts := range points {
+		cv := &curve{}
+		xs := make([]float64, 0, len(pts))
+		for x := range pts {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, x := range xs {
+			cv.xs = append(cv.xs, x)
+			cv.ys = append(cv.ys, pts[x].sum/float64(pts[x].count))
+		}
+		m.curves[key] = cv
+		sk := scopeKey{key.op, key.intra}
+		m.byScope[sk] = append(m.byScope[sk], key.nranks)
+	}
+	for sk := range m.byScope {
+		sort.Ints(m.byScope[sk])
+	}
+	return m
+}
+
+func (m *CollectiveModel) allSameNode(ranks []int) bool {
+	if len(ranks) == 0 {
+		return true
+	}
+	n0 := m.cluster.NodeOf(ranks[0])
+	for _, r := range ranks[1:] {
+		if m.cluster.NodeOf(r) != n0 {
+			return false
+		}
+	}
+	return true
+}
+
+// algFactor is the analytical data-volume factor of each collective
+// as a function of group size, used to rescale a profiled curve to a
+// nearby unprofiled participant count.
+func algFactor(op string, n int) float64 {
+	if n < 2 {
+		return 0.5
+	}
+	fn := float64(n)
+	switch op {
+	case "ncclAllReduce":
+		return 2 * (fn - 1) / fn
+	case "ncclAllGather", "ncclReduceScatter":
+		return fn - 1
+	case "ncclAllToAll":
+		return 1.5 * (fn - 1)
+	case "ncclBroadcast", "ncclSend", "ncclRecv":
+		return 1
+	default:
+		return (fn - 1) / fn
+	}
+}
+
+// Estimate predicts one collective's duration.
+func (m *CollectiveModel) Estimate(op string, bytes int64, ranks []int, nranks int) time.Duration {
+	n := nranks
+	if n <= 0 {
+		n = len(ranks)
+	}
+	if n <= 1 {
+		return 10 * time.Microsecond
+	}
+	if bytes <= 0 {
+		bytes = 1
+	}
+	intra := m.allSameNode(ranks)
+	x := math.Log2(float64(bytes))
+
+	if cv, ok := m.curves[curveKey{op, intra, n}]; ok {
+		return time.Duration(math.Exp(cv.at(x)))
+	}
+	// Nearest profiled participant count in the same scope, rescaled
+	// by the analytical volume factor.
+	if avail := m.byScope[scopeKey{op, intra}]; len(avail) > 0 {
+		near := nearest(avail, n)
+		cv := m.curves[curveKey{op, intra, near}]
+		base := math.Exp(cv.at(x))
+		return time.Duration(base * algFactor(op, n) / algFactor(op, near))
+	}
+	// Opposite scope as a last resort (e.g. inter-node groups when the
+	// profile only covered one node), with a bandwidth-ratio penalty.
+	if avail := m.byScope[scopeKey{op, !intra}]; len(avail) > 0 {
+		near := nearest(avail, n)
+		cv := m.curves[curveKey{op, !intra, near}]
+		base := math.Exp(cv.at(x))
+		ratio := m.scopeBandwidthRatio(intra)
+		return time.Duration(base * ratio * algFactor(op, n) / algFactor(op, near))
+	}
+	// Fully analytical fallback.
+	return m.analytical(op, bytes, n, intra)
+}
+
+// scopeBandwidthRatio approximates how much slower (or faster) the
+// requested scope is than the profiled one.
+func (m *CollectiveModel) scopeBandwidthRatio(wantIntra bool) float64 {
+	node := m.cluster.Node
+	intraBW := node.GPU.NVLinkGBps
+	if intraBW == 0 {
+		intraBW = node.PCIeGBps
+	}
+	interBW := node.Inter.PerGPUGBps
+	if interBW == 0 {
+		interBW = 1
+	}
+	if wantIntra {
+		return interBW / intraBW
+	}
+	return intraBW / interBW
+}
+
+func (m *CollectiveModel) analytical(op string, bytes int64, n int, intra bool) time.Duration {
+	node := m.cluster.Node
+	bw := node.Inter.PerGPUGBps * 0.8
+	if intra {
+		bw = node.GPU.NVLinkGBps * 0.7
+		if bw == 0 {
+			bw = node.PCIeGBps * 0.6
+		}
+	}
+	ns := algFactor(op, n) * float64(bytes) / (bw * 1e9) * 1e9
+	ns += math.Ceil(math.Log2(float64(n))) * 8000
+	return time.Duration(ns)
+}
+
+func nearest(sorted []int, n int) int {
+	i := sort.SearchInts(sorted, n)
+	if i == 0 {
+		return sorted[0]
+	}
+	if i == len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	if n-sorted[i-1] <= sorted[i]-n {
+		return sorted[i-1]
+	}
+	return sorted[i]
+}

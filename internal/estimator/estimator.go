@@ -1,0 +1,195 @@
+// Package estimator predicts per-operation runtimes for annotated
+// traces: Maya's pluggable kernel-runtime estimation phase. The
+// default implementation mirrors the paper — random-forest regressors
+// per kernel type trained on profiled microbenchmarks, plus
+// interpolated bandwidth curves for the small set of collective
+// operations — with an analytical roofline fallback for kernels that
+// were never profiled.
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"maya/internal/forest"
+	"maya/internal/hardware"
+	"maya/internal/trace"
+)
+
+// featureLen is the fixed kernel feature dimensionality.
+const featureLen = 14
+
+// KernelFeatures maps a traced op to the regressor's feature vector:
+// log-scaled work volumes, up to eight semantic dimensions, element
+// type and compiler-IR features for fused kernels.
+func KernelFeatures(op *trace.Op) []float64 {
+	x := make([]float64, featureLen)
+	x[0] = math.Log2(1 + float64(op.FLOPs))
+	x[1] = math.Log2(1 + float64(op.Bytes))
+	for i := 0; i < 8; i++ {
+		if i < len(op.Dims) {
+			x[2+i] = math.Log2(1 + float64(op.Dims[i]))
+		}
+	}
+	x[10] = float64(hardware.DType(op.DType).Size())
+	if op.Extra != nil {
+		x[11] = op.Extra["triton_instrs"]
+		x[12] = op.Extra["triton_loads"]
+	}
+	// The element type identity matters beyond its width: bf16 and
+	// fp16 share a size but can differ 4x in tensor-core throughput
+	// on pre-Ampere parts.
+	x[13] = dtypeCode(op.DType)
+	return x
+}
+
+func dtypeCode(dt string) float64 {
+	switch dt {
+	case "fp32":
+		return 1
+	case "fp16":
+		return 2
+	case "bf16":
+		return 3
+	case "fp8":
+		return 4
+	default:
+		return 0
+	}
+}
+
+// CollectiveEstimator predicts one collective's on-the-wire time.
+// The profiled CollectiveModel is the default; network simulators
+// (internal/netsim, standing in for ASTRA-sim) plug in through the
+// same interface, as the paper's §4.3 describes.
+type CollectiveEstimator interface {
+	EstimateCollective(op string, bytes int64, ranks []int, nranks int) time.Duration
+}
+
+// Suite bundles the trained estimators for one cluster.
+type Suite struct {
+	cluster hardware.Cluster
+	kernels map[string]*forest.Forest
+	coll    *CollectiveModel
+	collAlt CollectiveEstimator // optional override
+}
+
+// WithCollectiveEstimator returns a copy of the suite whose
+// collective predictions come from ce (nil restores the profiled
+// model). The kernel forests are shared.
+func (s *Suite) WithCollectiveEstimator(ce CollectiveEstimator) *Suite {
+	c := *s
+	c.collAlt = ce
+	return &c
+}
+
+// Cluster returns the cluster the suite was profiled on.
+func (s *Suite) Cluster() hardware.Cluster { return s.cluster }
+
+// KernelNames lists the kernels with trained forests, sorted.
+func (s *Suite) KernelNames() []string {
+	names := make([]string, 0, len(s.kernels))
+	for n := range s.kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EstimateKernel predicts the duration of a compute/memory op,
+// falling back to an analytical roofline for unprofiled kernels.
+func (s *Suite) EstimateKernel(op *trace.Op) time.Duration {
+	if f, ok := s.kernels[op.Name]; ok {
+		logNs := f.Predict(KernelFeatures(op))
+		return time.Duration(math.Exp(logNs))
+	}
+	return s.analyticalKernel(op)
+}
+
+// analyticalKernel is the coarse roofline used when no forest exists.
+func (s *Suite) analyticalKernel(op *trace.Op) time.Duration {
+	gpu := s.cluster.Node.GPU
+	peak := gpu.PeakTFLOPS(hardware.DType(op.DType)) * 1e12
+	bw := gpu.MemBWGBps * 1e9
+	var tc, tm float64
+	if op.FLOPs > 0 && peak > 0 {
+		tc = float64(op.FLOPs) / (peak * 0.5)
+	}
+	if op.Bytes > 0 {
+		tm = float64(op.Bytes) / (bw * 0.6)
+	}
+	ns := math.Max(tc, tm)*1e9 + 3000
+	return time.Duration(ns)
+}
+
+// EstimateCollective predicts the on-the-wire time of a collective
+// among the given global ranks (nranks is the declared group size,
+// used when membership is partial).
+func (s *Suite) EstimateCollective(opName string, bytes int64, ranks []int, nranks int) time.Duration {
+	if s.collAlt != nil {
+		return s.collAlt.EstimateCollective(opName, bytes, ranks, nranks)
+	}
+	return s.coll.Estimate(opName, bytes, ranks, nranks)
+}
+
+// Annotate writes predicted durations into every device op of the
+// job. comms provides communicator membership from the collator;
+// incomplete groups are extrapolated by stride (Megatron process
+// groups are uniform-stride, so deduplicated jobs still get correct
+// topology classification).
+func (s *Suite) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint64]int) {
+	world := 0
+	for _, w := range job.Workers {
+		if w.World > world {
+			world = w.World
+		}
+	}
+	for _, w := range job.Workers {
+		for i := range w.Ops {
+			op := &w.Ops[i]
+			switch op.Kind {
+			case trace.KindKernel, trace.KindMemcpy, trace.KindMemset:
+				op.Dur = s.EstimateKernel(op)
+			case trace.KindCollective:
+				if op.Coll.Seq < 0 {
+					continue
+				}
+				ranks := trace.ExpandRanks(comms[op.Coll.CommID], sizes[op.Coll.CommID], world)
+				op.Dur = s.EstimateCollective(op.Coll.Op, op.Coll.Bytes, ranks, op.Coll.NRanks)
+			}
+		}
+	}
+}
+
+// MAPEByKernel evaluates the suite's per-kernel-name mean absolute
+// percentage error over held-out profile samples.
+func (s *Suite) MAPEByKernel(test []ProfileSample) map[string]float64 {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for i := range test {
+		ps := &test[i]
+		if ps.Op.Kind == trace.KindCollective {
+			continue
+		}
+		want := float64(ps.Dur)
+		if want <= 0 {
+			continue
+		}
+		got := float64(s.EstimateKernel(&ps.Op))
+		name := ps.Op.Name
+		sums[name] += math.Abs(got-want) / want
+		counts[name]++
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out
+}
+
+// String summarizes the suite.
+func (s *Suite) String() string {
+	return fmt.Sprintf("estimator.Suite{%s: %d kernel forests}", s.cluster.Name, len(s.kernels))
+}

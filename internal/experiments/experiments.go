@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from this repository's implementation. Each
+// experiment is registered under the paper's artifact id ("fig7",
+// "table3", ...) and renders the same rows/series the paper reports;
+// EXPERIMENTS.md records measured-vs-paper outcomes.
+//
+// Wall-clock budgets are controlled by the MAYA_EXP_SCALE environment
+// variable: "quick" (default; suitable for `go test -bench`) evaluates
+// reduced but representative sweeps, "full" widens them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"maya/internal/core"
+	"maya/internal/estimator"
+	"maya/internal/hardware"
+	"maya/internal/silicon"
+)
+
+// Scale selects experiment sweep sizes.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// ScaleFromEnv reads MAYA_EXP_SCALE.
+func ScaleFromEnv() Scale {
+	if strings.EqualFold(os.Getenv("MAYA_EXP_SCALE"), "full") {
+		return Full
+	}
+	return Quick
+}
+
+// pick selects by scale.
+func (s Scale) pick(quick, full int) int {
+	if s == Full {
+		return full
+	}
+	return quick
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, " "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, " note: %s\n", n)
+	}
+}
+
+// Runner is an experiment entry point.
+type Runner func(*Env) (*Table, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// IDs lists the registered experiments, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, env *Env) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(env)
+}
+
+// Env caches expensive shared state (trained suites, sweep results)
+// across experiments in one process.
+type Env struct {
+	Scale Scale
+
+	mu    sync.Mutex
+	memos map[string]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewEnv builds an environment at the given scale.
+func NewEnv(scale Scale) *Env {
+	return &Env{Scale: scale, memos: make(map[string]*memoEntry)}
+}
+
+// memo runs fn once per key and caches its result.
+func (e *Env) memo(key string, fn func() (any, error)) (any, error) {
+	e.mu.Lock()
+	m, ok := e.memos[key]
+	if !ok {
+		m = &memoEntry{}
+		e.memos[key] = m
+	}
+	e.mu.Unlock()
+	m.once.Do(func() { m.val, m.err = fn() })
+	return m.val, m.err
+}
+
+// Predictor returns the Maya pipeline for a cluster (cached suite).
+func (e *Env) Predictor(cluster hardware.Cluster, kind estimator.ProfileKind) (*core.Pipeline, error) {
+	oracle := core.DefaultOracle(cluster)
+	suite, _, err := core.SuiteFor(cluster, oracle, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Pipeline{Cluster: cluster, Suite: suite, Opts: core.Options{SelectiveLaunch: true}}, nil
+}
+
+// MAPE returns the held-out per-kernel error map for a cluster.
+func (e *Env) MAPE(cluster hardware.Cluster, kind estimator.ProfileKind) (map[string]float64, error) {
+	oracle := core.DefaultOracle(cluster)
+	_, mape, err := core.SuiteFor(cluster, oracle, kind)
+	return mape, err
+}
+
+// Oracle returns the canonical silicon for a cluster.
+func (e *Env) Oracle(cluster hardware.Cluster) *silicon.Oracle {
+	return core.DefaultOracle(cluster)
+}
+
+func dur2s(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

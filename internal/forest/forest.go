@@ -1,0 +1,268 @@
+// Package forest implements random-forest regression from scratch:
+// CART trees grown by variance reduction, combined by bagging with
+// per-split feature subsampling. Maya's default kernel-runtime
+// estimators are forests trained on profiling data, following the
+// paper (§4.3) and prior work it cites.
+//
+// Everything is deterministic given the seed, so trained estimators
+// — and therefore every prediction experiment — are reproducible.
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"maya/internal/prand"
+)
+
+// Sample is one training observation.
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// Options configures training. Zero fields take defaults.
+type Options struct {
+	Trees       int     // number of trees (default 24)
+	MaxDepth    int     // maximum tree depth (default 14)
+	MinLeaf     int     // minimum samples per leaf (default 2)
+	FeatureFrac float64 // features considered per split (default 0.7)
+	SampleFrac  float64 // bootstrap fraction per tree (default 0.85)
+	Seed        uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trees == 0 {
+		o.Trees = 24
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 14
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 2
+	}
+	if o.FeatureFrac == 0 {
+		o.FeatureFrac = 0.7
+	}
+	if o.SampleFrac == 0 {
+		o.SampleFrac = 0.85
+	}
+	return o
+}
+
+// Forest is a trained ensemble.
+type Forest struct {
+	trees     []*node
+	nFeatures int
+}
+
+type node struct {
+	feature     int
+	thresh      float64
+	left, right *node
+	value       float64 // leaf prediction
+}
+
+func (n *node) leaf() bool { return n.left == nil }
+
+// Train fits a forest to the samples.
+func Train(samples []Sample, opts Options) (*Forest, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("forest: no training samples")
+	}
+	opts = opts.withDefaults()
+	nf := len(samples[0].X)
+	for i, s := range samples {
+		if len(s.X) != nf {
+			return nil, fmt.Errorf("forest: sample %d has %d features, want %d", i, len(s.X), nf)
+		}
+	}
+	f := &Forest{nFeatures: nf, trees: make([]*node, opts.Trees)}
+	for t := 0; t < opts.Trees; t++ {
+		rng := prand.New(prand.HashInts(opts.Seed, int64(t), 0xf0e57))
+		idx := bootstrap(len(samples), opts.SampleFrac, rng)
+		b := &builder{samples: samples, opts: opts, rng: rng}
+		f.trees[t] = b.grow(idx, 0)
+	}
+	return f, nil
+}
+
+// NumFeatures returns the feature dimensionality the forest expects.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// Predict returns the ensemble mean for x.
+func (f *Forest) Predict(x []float64) float64 {
+	var sum float64
+	for _, t := range f.trees {
+		n := t
+		for !n.leaf() {
+			if x[n.feature] <= n.thresh {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		sum += n.value
+	}
+	return sum / float64(len(f.trees))
+}
+
+func bootstrap(n int, frac float64, rng *prand.SplitMix64) []int {
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	return idx
+}
+
+type builder struct {
+	samples []Sample
+	opts    Options
+	rng     *prand.SplitMix64
+}
+
+func (b *builder) grow(idx []int, depth int) *node {
+	mean, sse := stats(b.samples, idx)
+	if depth >= b.opts.MaxDepth || len(idx) < 2*b.opts.MinLeaf || sse < 1e-12 {
+		return &node{value: mean}
+	}
+	feat, thresh, ok := b.bestSplit(idx, sse)
+	if !ok {
+		return &node{value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.samples[i].X[feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.opts.MinLeaf || len(right) < b.opts.MinLeaf {
+		return &node{value: mean}
+	}
+	return &node{
+		feature: feat,
+		thresh:  thresh,
+		left:    b.grow(left, depth+1),
+		right:   b.grow(right, depth+1),
+	}
+}
+
+// bestSplit scans a random feature subset for the split with the
+// largest SSE reduction, using sorted prefix sums.
+func (b *builder) bestSplit(idx []int, parentSSE float64) (feat int, thresh float64, ok bool) {
+	nf := len(b.samples[idx[0]].X)
+	k := int(math.Ceil(b.opts.FeatureFrac * float64(nf)))
+	if k < 1 {
+		k = 1
+	}
+	perm := b.rng.Perm(nf)[:k]
+	sort.Ints(perm) // deterministic evaluation order
+
+	best := parentSSE - 1e-12
+	ok = false
+
+	sorted := make([]int, len(idx))
+	for _, f := range perm {
+		copy(sorted, idx)
+		ff := f
+		sort.Slice(sorted, func(i, j int) bool {
+			return b.samples[sorted[i]].X[ff] < b.samples[sorted[j]].X[ff]
+		})
+		// Prefix statistics.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range sorted {
+			sumR += b.samples[i].Y
+			sumSqR += b.samples[i].Y * b.samples[i].Y
+		}
+		n := float64(len(sorted))
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			y := b.samples[sorted[pos]].Y
+			sumL += y
+			sumSqL += y * y
+			sumR -= y
+			sumSqR -= y * y
+			xv := b.samples[sorted[pos]].X[ff]
+			xn := b.samples[sorted[pos+1]].X[ff]
+			if xn <= xv {
+				continue // cannot split between equal values
+			}
+			nl := float64(pos + 1)
+			nr := n - nl
+			if int(nl) < b.opts.MinLeaf || int(nr) < b.opts.MinLeaf {
+				continue
+			}
+			sse := (sumSqL - sumL*sumL/nl) + (sumSqR - sumR*sumR/nr)
+			if sse < best {
+				best = sse
+				feat = ff
+				thresh = (xv + xn) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+func stats(samples []Sample, idx []int) (mean, sse float64) {
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += samples[i].Y
+		sumSq += samples[i].Y * samples[i].Y
+	}
+	n := float64(len(idx))
+	mean = sum / n
+	sse = sumSq - sum*sum/n
+	if sse < 0 {
+		sse = 0
+	}
+	return mean, sse
+}
+
+// MAPE computes mean absolute percentage error of the forest on a
+// test set, with predictions and targets transformed by inv (pass
+// identity when Y is the raw target).
+func (f *Forest) MAPE(test []Sample, inv func(float64) float64) float64 {
+	if inv == nil {
+		inv = func(v float64) float64 { return v }
+	}
+	var total float64
+	var n int
+	for _, s := range test {
+		want := inv(s.Y)
+		if want == 0 {
+			continue
+		}
+		got := inv(f.Predict(s.X))
+		total += math.Abs(got-want) / math.Abs(want)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Split partitions samples into train/test deterministically
+// (fraction testFrac to test), for held-out evaluation.
+func Split(samples []Sample, testFrac float64, seed uint64) (train, test []Sample) {
+	rng := prand.New(seed)
+	perm := rng.Perm(len(samples))
+	nTest := int(float64(len(samples)) * testFrac)
+	for i, p := range perm {
+		if i < nTest {
+			test = append(test, samples[p])
+		} else {
+			train = append(train, samples[p])
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,158 @@
+package forest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"maya/internal/prand"
+)
+
+// genSamples draws n points from f over [0,1]^d with optional noise.
+func genSamples(n, d int, seed uint64, noise float64, f func([]float64) float64) []Sample {
+	rng := prand.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		y := f(x)
+		if noise > 0 {
+			y += noise * rng.NormFloat64()
+		}
+		out[i] = Sample{X: x, Y: y}
+	}
+	return out
+}
+
+func TestFitsAdditiveFunction(t *testing.T) {
+	f := func(x []float64) float64 { return 3*x[0] + x[1]*x[1] - 0.5*x[2] }
+	train := genSamples(3000, 3, 1, 0.01, f)
+	test := genSamples(300, 3, 2, 0, f)
+	fr, err := Train(train, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for _, s := range test {
+		d := fr.Predict(s.X) - s.Y
+		mse += d * d
+	}
+	mse /= float64(len(test))
+	if mse > 0.01 {
+		t.Fatalf("test MSE = %v, want < 0.01", mse)
+	}
+}
+
+func TestFitsStepFunction(t *testing.T) {
+	// Trees should nail axis-aligned steps.
+	f := func(x []float64) float64 {
+		if x[0] > 0.5 {
+			return 10
+		}
+		return -10
+	}
+	fr, err := Train(genSamples(1000, 2, 3, 0, f), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fr.Predict([]float64{0.9, 0.5}); math.Abs(v-10) > 0.5 {
+		t.Fatalf("high side = %v", v)
+	}
+	if v := fr.Predict([]float64{0.1, 0.5}); math.Abs(v+10) > 0.5 {
+		t.Fatalf("low side = %v", v)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	train := genSamples(500, 4, 5, 0.05, func(x []float64) float64 { return x[0] * x[3] })
+	a, err := Train(train, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.1, 0.9, 0.7}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("same seed, different forests")
+	}
+	c, _ := Train(train, Options{Seed: 10})
+	if a.Predict(probe) == c.Predict(probe) {
+		t.Fatal("different seeds produced identical forests (suspicious)")
+	}
+}
+
+func TestPredictionsWithinTargetRange(t *testing.T) {
+	// Property: a tree ensemble's prediction is a convex combination
+	// of training targets, so it can never leave their range.
+	if err := quick.Check(func(seed uint64) bool {
+		train := genSamples(200, 3, seed, 0, func(x []float64) float64 { return math.Sin(6 * x[0]) })
+		fr, err := Train(train, Options{Seed: seed, Trees: 8, MaxDepth: 6})
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range train {
+			lo = math.Min(lo, s.Y)
+			hi = math.Max(hi, s.Y)
+		}
+		rng := prand.New(seed + 1)
+		for i := 0; i < 50; i++ {
+			x := []float64{rng.Float64() * 2, rng.Float64() * 2, rng.Float64() * 2}
+			v := fr.Predict(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAPEWithTransform(t *testing.T) {
+	// Train in log space, evaluate MAPE in linear space.
+	f := func(x []float64) float64 { return math.Log(1000 * (1 + 9*x[0])) }
+	train := genSamples(2000, 2, 11, 0.005, f)
+	test := genSamples(200, 2, 12, 0, f)
+	fr, err := Train(train, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := fr.MAPE(test, math.Exp)
+	if mape > 0.05 {
+		t.Fatalf("MAPE = %.1f%%, want < 5%%", mape*100)
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	samples := genSamples(100, 2, 13, 0, func(x []float64) float64 { return x[0] })
+	train, test := Split(samples, 0.2, 42)
+	if len(test) != 20 || len(train) != 80 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, Options{}); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+	bad := []Sample{{X: []float64{1, 2}, Y: 0}, {X: []float64{1}, Y: 0}}
+	if _, err := Train(bad, Options{}); err == nil {
+		t.Fatal("expected error for inconsistent feature lengths")
+	}
+}
+
+func TestConstantTargetYieldsConstantForest(t *testing.T) {
+	train := genSamples(100, 2, 17, 0, func([]float64) float64 { return 5 })
+	fr, err := Train(train, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fr.Predict([]float64{0.5, 0.5}); math.Abs(v-5) > 1e-9 {
+		t.Fatalf("constant fit = %v", v)
+	}
+}

@@ -1,0 +1,286 @@
+package framework
+
+// Kernel emission for transformer layers: the per-layer call
+// sequences PyTorch + Megatron-LM produce, with the kernel names the
+// paper's Appendix B profiles (cuBLAS GEMMs, apex layernorm and
+// softmax kernels, fused dropout, embedding segment reductions).
+
+// tokens returns the microbatch token count.
+func (r *megatronRunner) tokens() int {
+	return r.mbs * r.cfg.Model.Seq
+}
+
+// spTokens returns the token count sequence-parallel regions see.
+func (r *megatronRunner) spTokens() int {
+	if r.cfg.SeqParallel {
+		return r.tokens() / r.cfg.TP
+	}
+	return r.tokens()
+}
+
+// gemm emits a mixed-precision GEMM through cuBLAS.
+func (r *megatronRunner) gemm(m, n, k int) {
+	if r.err != nil {
+		return
+	}
+	r.check(r.blas.GemmEx(m, n, k, r.cfg.DType))
+}
+
+func (r *megatronRunner) batchedGemm(batch, m, n, k int) {
+	if r.err != nil {
+		return
+	}
+	r.check(r.blas.SgemmStridedBatched(batch, m, n, k, r.cfg.DType))
+}
+
+// layerNorm emits the apex fused layernorm over n tokens.
+func (r *megatronRunner) layerNorm(n int) {
+	h := r.cfg.Model.Hidden
+	r.kernel("cuApplyLayerNorm", []int{n, h}, 2*r.es*int64(n)*int64(h), 8*int64(n)*int64(h), r.cfg.DType)
+}
+
+// layerNormBackward emits the apex layernorm gradient kernels.
+func (r *megatronRunner) layerNormBackward(n int) {
+	h := r.cfg.Model.Hidden
+	nh := int64(n) * int64(h)
+	r.kernel("cuComputeGradInput", []int{n, h}, 3*r.es*nh, 10*nh, r.cfg.DType)
+	r.kernel("cuComputePartGradGammaBeta", []int{n, h}, 2*r.es*nh, 4*nh, r.cfg.DType)
+	r.kernel("cuComputeGradGammaBeta", []int{h, 64}, r.es*int64(h)*64, int64(h)*64, r.cfg.DType)
+}
+
+func (r *megatronRunner) dropout(elems int64) {
+	r.kernel("fused_dropout_kernel_vec", []int{int(elems)}, r.es*elems*5/2, elems, r.cfg.DType)
+}
+
+func (r *megatronRunner) residualAdd(elems int64) {
+	r.kernel("vectorized_elementwise_kernel", []int{int(elems)}, 3*r.es*elems, elems, r.cfg.DType)
+}
+
+// tpForwardSync is the tensor-parallel synchronization after a
+// row-parallel linear: all-reduce classically, reduce-scatter under
+// sequence parallelism.
+func (r *megatronRunner) tpForwardSync() {
+	if r.tpc == nil {
+		return
+	}
+	full := int64(r.tokens()) * int64(r.cfg.Model.Hidden) * r.es
+	if r.cfg.SeqParallel {
+		r.check(r.tpc.ReduceScatter(full/int64(r.cfg.TP), r.compute))
+	} else {
+		r.check(r.tpc.AllReduce(full, r.compute))
+	}
+}
+
+// tpGatherInput is the all-gather that reassembles sequence-sharded
+// activations before a column-parallel linear (sequence parallelism
+// only).
+func (r *megatronRunner) tpGatherInput() {
+	if r.tpc == nil || !r.cfg.SeqParallel {
+		return
+	}
+	shard := int64(r.spTokens()) * int64(r.cfg.Model.Hidden) * r.es
+	r.check(r.tpc.AllGather(shard, r.compute))
+}
+
+// tpBackwardSync propagates input gradients across the TP group
+// during backward.
+func (r *megatronRunner) tpBackwardSync() {
+	if r.tpc == nil {
+		return
+	}
+	full := int64(r.tokens()) * int64(r.cfg.Model.Hidden) * r.es
+	if r.cfg.SeqParallel {
+		// Backward of (all-gather, reduce-scatter) is (reduce-scatter,
+		// all-gather).
+		r.check(r.tpc.ReduceScatter(full/int64(r.cfg.TP), r.compute))
+	} else {
+		r.check(r.tpc.AllReduce(full, r.compute))
+	}
+}
+
+func (r *megatronRunner) tpGatherBackward() {
+	if r.tpc == nil || !r.cfg.SeqParallel {
+		return
+	}
+	shard := int64(r.spTokens()) * int64(r.cfg.Model.Hidden) * r.es
+	r.check(r.tpc.AllGather(shard, r.compute))
+}
+
+// emitLayerForward issues one transformer layer's forward kernels.
+func (r *megatronRunner) emitLayerForward() {
+	cfg := r.cfg
+	mdl := cfg.Model
+	t := cfg.TP
+	n := r.tokens()
+	nSP := r.spTokens()
+	s := mdl.Seq
+	h := mdl.Hidden
+	f := mdl.FFN
+	heads := mdl.Heads / t
+	headDim := h / mdl.Heads
+	attnBatch := r.mbs * heads
+	scoreElems := int64(attnBatch) * int64(s) * int64(s)
+
+	// --- attention block ---
+	r.layerNorm(nSP)
+	r.tpGatherInput()
+	r.gemm(n, 3*h/t, h) // fused QKV projection
+	r.kernel("elementwise_kernel", []int{n, 3 * h / t}, 2*r.es*int64(n)*int64(3*h/t), 0, cfg.DType)
+	r.batchedGemm(attnBatch, s, s, headDim) // scores = Q K^T
+	r.kernel("masked_softmax_warp_forward", []int{attnBatch, s, s}, 2*r.es*scoreElems, 6*scoreElems, cfg.DType)
+	r.dropout(scoreElems)
+	r.batchedGemm(attnBatch, s, headDim, s) // context = P V
+	r.kernel("unrolled_elementwise_kernel", []int{n, h / t}, 2*r.es*int64(n)*int64(h/t), 0, cfg.DType)
+	r.gemm(n, h, h/t) // output projection (row parallel)
+	r.tpForwardSync()
+	r.dropout(int64(nSP) * int64(h))
+	r.residualAdd(int64(nSP) * int64(h))
+
+	// --- MLP block (dense or mixture-of-experts) ---
+	r.layerNorm(nSP)
+	r.tpGatherInput()
+	if mdl.NumExperts > 0 {
+		r.emitMoEForward()
+	} else {
+		r.gemm(n, f/t, h) // fc1 (column parallel)
+		if mdl.GatedMLP {
+			r.gemm(n, f/t, h) // gate projection
+			r.kernel("vectorized_elementwise_kernel", []int{n, f / t}, 3*r.es*int64(n)*int64(f/t), int64(n)*int64(f/t), cfg.DType)
+		}
+		r.kernel("vectorized_elementwise_kernel", []int{n, f / t}, 2*r.es*int64(n)*int64(f/t), 8*int64(n)*int64(f/t), cfg.DType) // activation
+		r.gemm(n, h, f/t)                                                                                                        // fc2 (row parallel)
+		r.tpForwardSync()
+	}
+	r.dropout(int64(nSP) * int64(h))
+	r.residualAdd(int64(nSP) * int64(h))
+}
+
+// emitLayerBackward issues one transformer layer's backward kernels:
+// two GEMMs (data and weight gradients) per forward GEMM, the apex
+// layernorm/softmax gradient kernels and the pointwise backwards.
+func (r *megatronRunner) emitLayerBackward() {
+	cfg := r.cfg
+	mdl := cfg.Model
+	t := cfg.TP
+	n := r.tokens()
+	nSP := r.spTokens()
+	s := mdl.Seq
+	h := mdl.Hidden
+	f := mdl.FFN
+	heads := mdl.Heads / t
+	headDim := h / mdl.Heads
+	attnBatch := r.mbs * heads
+	scoreElems := int64(attnBatch) * int64(s) * int64(s)
+
+	// --- MLP block backward (dense or mixture-of-experts) ---
+	r.residualAdd(int64(nSP) * int64(h))
+	r.dropout(int64(nSP) * int64(h))
+	r.tpGatherBackward()
+	if mdl.NumExperts > 0 {
+		r.emitMoEBackward()
+	} else {
+		r.gemm(n, f/t, h)                                                                                                         // fc2 dgrad
+		r.gemm(h, f/t, n)                                                                                                         // fc2 wgrad
+		r.kernel("vectorized_elementwise_kernel", []int{n, f / t}, 3*r.es*int64(n)*int64(f/t), 10*int64(n)*int64(f/t), cfg.DType) // activation bwd
+		if mdl.GatedMLP {
+			r.gemm(n, h, f/t)
+			r.gemm(h, f/t, n)
+		}
+		r.gemm(n, h, f/t) // fc1 dgrad
+		r.gemm(h, f/t, n) // fc1 wgrad
+		r.tpBackwardSync()
+	}
+	r.layerNormBackward(nSP)
+
+	// --- attention block backward ---
+	r.residualAdd(int64(nSP) * int64(h))
+	r.dropout(int64(nSP) * int64(h))
+	r.tpGatherBackward()
+	r.gemm(n, h/t, h)                       // proj dgrad
+	r.gemm(h, h/t, n)                       // proj wgrad
+	r.batchedGemm(attnBatch, s, s, headDim) // dP = dO V^T
+	r.batchedGemm(attnBatch, s, headDim, s) // dV = P^T dO
+	r.kernel("masked_softmax_warp_backward", []int{attnBatch, s, s}, 3*r.es*scoreElems, 8*scoreElems, cfg.DType)
+	r.dropout(scoreElems)
+	r.batchedGemm(attnBatch, s, headDim, s) // dQ
+	r.batchedGemm(attnBatch, headDim, s, s) // dK
+	r.kernel("elementwise_kernel", []int{n, 3 * h / t}, 2*r.es*int64(n)*int64(3*h/t), 0, cfg.DType)
+	r.gemm(n, h, 3*h/t) // qkv dgrad
+	r.gemm(h, 3*h/t, n) // qkv wgrad
+	r.tpBackwardSync()
+	r.layerNormBackward(nSP)
+}
+
+// emitEmbeddingForward is the first pipeline stage's token and
+// position embedding lookup.
+func (r *megatronRunner) emitEmbeddingForward() {
+	mdl := r.cfg.Model
+	n := r.tokens()
+	h := mdl.Hidden
+	r.kernel("indexSelectLargeIndex", []int{n, h}, r.es*int64(n)*int64(h)+8*int64(n), 0, r.cfg.DType)
+	if r.tpc != nil {
+		// Vocab-parallel embedding: ranks zero rows they do not own,
+		// then all-reduce the partial embeddings.
+		r.check(r.tpc.AllReduce(int64(n)*int64(h)*r.es, r.compute))
+	}
+	r.kernel("vectorized_elementwise_kernel", []int{n, h}, 3*r.es*int64(n)*int64(h), int64(n)*int64(h), r.cfg.DType)
+	r.dropout(int64(n) * int64(h))
+}
+
+// emitEmbeddingBackward is PyTorch's sparse embedding gradient: sort
+// indices, segment the duplicates, accumulate — the radix-sort and
+// segment-reduction kernel chain of Appendix B.
+func (r *megatronRunner) emitEmbeddingBackward() {
+	mdl := r.cfg.Model
+	n := int64(r.tokens())
+	h := int64(mdl.Hidden)
+	dt := r.cfg.DType
+	r.kernel("write_num_of_segments", []int{int(n)}, 8*n, 0, dt)
+	r.kernel("RadixSortHistogramKernel", []int{int(n)}, 8*n, 2*n, dt)
+	r.kernel("RadixSortExclusiveSumKernel", []int{int(n)}, 8*n, n, dt)
+	r.kernel("RadixSortOnesweepKernel", []int{int(n)}, 16*n, 4*n, dt)
+	r.kernel("at_cuda_detailcubDeviceScanInitKernel", []int{int(n)}, 4*n, 0, dt)
+	r.kernel("at_cuda_detailcubDeviceScanKernel", []int{int(n)}, 8*n, 2*n, dt)
+	r.kernel("compute_num_of_partial_segments", []int{int(n)}, 8*n, n, dt)
+	r.kernel("krn_partials_per_segment", []int{int(n)}, 8*n, n, dt)
+	r.kernel("krn_partial_segment_offset", []int{int(n)}, 8*n, n, dt)
+	r.kernel("compute_grad_weight", []int{int(n), int(h)}, r.es*n*h+12*n, 2*n*h, dt)
+	r.kernel("sum_and_scatter", []int{int(n), int(h)}, r.es*n*h+12*n, n*h, dt)
+}
+
+// emitHeadForward is the last stage's final layernorm, vocab-parallel
+// LM head and cross-entropy loss.
+func (r *megatronRunner) emitHeadForward() {
+	cfg := r.cfg
+	mdl := cfg.Model
+	n := r.tokens()
+	nSP := r.spTokens()
+	v := mdl.Vocab / cfg.TP
+	r.layerNorm(nSP)
+	r.tpGatherInput()
+	r.gemm(n, v, mdl.Hidden)
+	logits := int64(n) * int64(v)
+	r.kernel("softmax_warp_forward", []int{n, v}, 2*r.es*logits, 5*logits, cfg.DType)
+	if r.tpc != nil {
+		// Vocab-parallel loss: max and sum-exp reductions across TP.
+		r.check(r.tpc.AllReduce(4*int64(n), r.compute))
+		r.check(r.tpc.AllReduce(4*int64(n), r.compute))
+	}
+	r.kernel("nll_loss_forward_reduce_cuda_kernel_2d", []int{n}, 8*int64(n), 2*int64(n), cfg.DType)
+}
+
+// emitHeadBackward mirrors the head: loss gradient, head GEMM pair.
+func (r *megatronRunner) emitHeadBackward() {
+	cfg := r.cfg
+	mdl := cfg.Model
+	n := r.tokens()
+	nSP := r.spTokens()
+	v := mdl.Vocab / cfg.TP
+	logits := int64(n) * int64(v)
+	r.kernel("nll_loss_backward_reduce_cuda_kernel_2d", []int{n}, 8*int64(n), 2*int64(n), cfg.DType)
+	r.kernel("softmax_warp_backward", []int{n, v}, 3*r.es*logits, 6*logits, cfg.DType)
+	r.gemm(n, mdl.Hidden, v) // head dgrad
+	r.gemm(mdl.Hidden, v, n) // head wgrad
+	r.tpBackwardSync()
+	r.layerNormBackward(nSP)
+}

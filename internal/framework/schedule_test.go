@@ -1,0 +1,262 @@
+package framework
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// validateSchedule checks structural invariants of a pipeline
+// schedule: every task exactly once, per-virtual-stage microbatch
+// order strictly FIFO, every rank's list a valid linearization of the
+// dependency DAG, and the in-flight bound respected.
+func validateSchedule(t *testing.T, pp, v, m int, sched [][]Action) {
+	t.Helper()
+	d := pp * v
+	if len(sched) != pp {
+		t.Fatalf("pp=%d v=%d m=%d: %d rank lists", pp, v, m, len(sched))
+	}
+	seen := make(map[Action]bool)
+	total := 0
+	for p, actions := range sched {
+		lastMicro := map[[2]int]int{} // (kind, vstage) -> last micro
+		inflight := map[int]int{}     // vstage -> outstanding
+		for _, a := range actions {
+			if a.VStage%pp != p {
+				t.Fatalf("rank %d executes foreign vstage %d", p, a.VStage)
+			}
+			if seen[a] {
+				t.Fatalf("duplicate action %v", a)
+			}
+			seen[a] = true
+			total++
+			key := [2]int{int(a.Kind), a.VStage}
+			if prev, ok := lastMicro[key]; ok && a.Micro != prev+1 {
+				t.Fatalf("rank %d: %v out of microbatch order (prev %d)", p, a, prev)
+			} else if !ok && a.Micro != 0 {
+				t.Fatalf("rank %d: %v should start at micro 0", p, a)
+			}
+			lastMicro[key] = a.Micro
+			if a.Kind == ActForward {
+				inflight[a.VStage]++
+				cap := d - a.VStage
+				if cap > m {
+					cap = m
+				}
+				if inflight[a.VStage] > cap {
+					t.Fatalf("rank %d vstage %d exceeds in-flight cap %d", p, a.VStage, cap)
+				}
+			} else {
+				inflight[a.VStage]--
+			}
+		}
+	}
+	if total != 2*d*m {
+		t.Fatalf("pp=%d v=%d m=%d: %d actions, want %d", pp, v, m, total, 2*d*m)
+	}
+	for vs := 0; vs < d; vs++ {
+		for mu := 0; mu < m; mu++ {
+			if !seen[Action{Kind: ActForward, VStage: vs, Micro: mu}] {
+				t.Fatalf("missing F(v%d,m%d)", vs, mu)
+			}
+			if !seen[Action{Kind: ActBackward, VStage: vs, Micro: mu}] {
+				t.Fatalf("missing B(v%d,m%d)", vs, mu)
+			}
+		}
+	}
+}
+
+func TestClassic1F1BStructure(t *testing.T) {
+	const pp, m = 4, 8
+	sched := BuildPipelineSchedule(pp, 1, m)
+	validateSchedule(t, pp, 1, m, sched)
+
+	// Stage p runs pp-1-p warmup forwards before its first backward —
+	// the textbook 1F1B shape.
+	for p := 0; p < pp; p++ {
+		warmup := 0
+		for _, a := range sched[p] {
+			if a.Kind == ActBackward {
+				break
+			}
+			warmup++
+		}
+		want := pp - p
+		if want > m {
+			want = m
+		}
+		// The first backward comes after (pp-p) forwards for the last
+		// stages and pp-p or pp-p-1... accept the 1F1B band.
+		if warmup < pp-p-1 || warmup > pp-p {
+			t.Errorf("stage %d warmup = %d, want %d or %d", p, warmup, pp-p-1, pp-p)
+		}
+	}
+
+	// Steady state alternates F and B on stage 0.
+	mid := sched[0][pp : 2*m-pp]
+	for i := 1; i < len(mid); i++ {
+		if mid[i].Kind == mid[i-1].Kind {
+			t.Fatalf("stage 0 not alternating in steady state: %v %v", mid[i-1], mid[i])
+		}
+	}
+}
+
+func TestMaxInFlightBoundsMemory(t *testing.T) {
+	sched := BuildPipelineSchedule(4, 1, 16)
+	peak := MaxInFlight(sched)
+	for p, got := range peak {
+		want := 4 - p
+		if got != want {
+			t.Errorf("stage %d in-flight = %d, want %d (1F1B bound)", p, got, want)
+		}
+	}
+	// GPipe-like degenerate case: one microbatch, everything is 1.
+	for _, got := range MaxInFlight(BuildPipelineSchedule(4, 1, 1)) {
+		if got != 1 {
+			t.Errorf("m=1 in-flight = %d", got)
+		}
+	}
+}
+
+func TestInterleavingReducesBubble(t *testing.T) {
+	// Abstract makespan (unit F=2, B=4 as in the scheduler) shrinks
+	// with virtual stages at equal total work.
+	makespan := func(pp, v, m int) int {
+		sched := BuildPipelineSchedule(pp, v, m)
+		// Reconstruct per-rank busy time: each F is 2/v units of real
+		// work, each B 4/v, so compare bubble fraction instead: count
+		// actions per rank; a rank's work is constant, so the longest
+		// *schedule length* tracks the bubble. Recompute via simple
+		// replay with unit times scaled by 1/v.
+		return replayMakespan(sched, pp, v, m)
+	}
+	m4 := makespan(4, 1, 8)
+	m2 := makespan(4, 2, 8)
+	if m2 >= m4 {
+		t.Fatalf("interleaving did not reduce abstract makespan: v1=%d v2=%d", m4, m2)
+	}
+}
+
+// replayMakespan replays a schedule with F=2/v, B=4/v unit times and
+// cross-stage dependencies, returning the completion time.
+func replayMakespan(sched [][]Action, pp, v, m int) int {
+	d := pp * v
+	fDone := make([][]int, d)
+	bDone := make([][]int, d)
+	for vs := range fDone {
+		fDone[vs] = make([]int, m)
+		bDone[vs] = make([]int, m)
+		for mu := range fDone[vs] {
+			fDone[vs][mu] = -1
+			bDone[vs][mu] = -1
+		}
+	}
+	pos := make([]int, pp)
+	clock := make([]int, pp)
+	fDur, bDur := 2, 4
+	remaining := 2 * d * m
+	for remaining > 0 {
+		progressed := false
+		for p := 0; p < pp; p++ {
+			if pos[p] >= len(sched[p]) {
+				continue
+			}
+			a := sched[p][pos[p]]
+			ready := -1
+			switch a.Kind {
+			case ActForward:
+				if a.VStage == 0 {
+					ready = 0
+				} else if t := fDone[a.VStage-1][a.Micro]; t >= 0 {
+					ready = t
+				}
+			case ActBackward:
+				if a.VStage == d-1 {
+					if t := fDone[a.VStage][a.Micro]; t >= 0 {
+						ready = t
+					}
+				} else if t := bDone[a.VStage+1][a.Micro]; t >= 0 {
+					ready = t
+				}
+			}
+			if ready < 0 {
+				continue
+			}
+			start := clock[p]
+			if ready > start {
+				start = ready
+			}
+			dur := fDur
+			if a.Kind == ActBackward {
+				dur = bDur
+			}
+			end := start + dur/1 // per-action durations already scale with chunk size implicitly
+			// Scale by 1/v: each chunk holds 1/v of the layers.
+			end = start + dur/v
+			if end == start {
+				end = start + 1
+			}
+			clock[p] = end
+			if a.Kind == ActForward {
+				fDone[a.VStage][a.Micro] = end
+			} else {
+				bDone[a.VStage][a.Micro] = end
+			}
+			pos[p]++
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			// Should never happen for valid schedules.
+			panic("replay stuck")
+		}
+	}
+	max := 0
+	for _, c := range clock {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func TestScheduleInvariantsProperty(t *testing.T) {
+	if err := quick.Check(func(ppRaw, vRaw, mRaw uint8) bool {
+		pp := int(ppRaw%6) + 1
+		v := int(vRaw%3) + 1
+		if pp == 1 {
+			v = 1
+		}
+		m := int(mRaw%12) + 1
+		sched := BuildPipelineSchedule(pp, v, m)
+		// Reuse the testing validator by shelling through a sub-test
+		// would lose the bool; re-validate inline (cheap checks).
+		d := pp * v
+		seen := make(map[Action]bool)
+		for p, actions := range sched {
+			for _, a := range actions {
+				if a.VStage%pp != p || seen[a] {
+					return false
+				}
+				seen[a] = true
+			}
+		}
+		return len(seen) == 2*d*m
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := BuildPipelineSchedule(4, 2, 8)
+	b := BuildPipelineSchedule(4, 2, 8)
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			t.Fatal("nondeterministic schedule length")
+		}
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatal("nondeterministic schedule")
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package models is the model zoo: parameter, FLOP and geometry
+// calculators for the architectures the paper evaluates — the GPT-3
+// family, Llama-2, and the vision/NLP models of the generality study.
+package models
+
+import "fmt"
+
+// Transformer describes a decoder- or encoder-style transformer.
+type Transformer struct {
+	Name   string
+	Layers int
+	Hidden int
+	Heads  int
+	// FFN is the feed-forward inner dimension (4*Hidden for GPT;
+	// Llama uses a gated 11008).
+	FFN int
+	// GatedMLP marks SwiGLU-style MLPs with three projection matrices.
+	GatedMLP bool
+	Seq      int
+	Vocab    int
+	// NumExperts > 0 makes the MLP a mixture-of-experts layer with
+	// TopK routing. Routing is modeled as balanced (the
+	// deterministic-control-flow case the paper's §8 identifies as
+	// supported: expert-parallel kernels without host-side gating).
+	NumExperts int
+	// TopK is the number of experts each token routes to (default 2
+	// when NumExperts > 0).
+	TopK int
+}
+
+// ExpertTopK returns the effective top-k routing width.
+func (t Transformer) ExpertTopK() int {
+	if t.NumExperts == 0 {
+		return 0
+	}
+	if t.TopK == 0 {
+		return 2
+	}
+	return t.TopK
+}
+
+// Params returns the total parameter count.
+func (t Transformer) Params() int64 {
+	h := int64(t.Hidden)
+	f := int64(t.FFN)
+	mats := int64(2)
+	if t.GatedMLP {
+		mats = 3
+	}
+	mlp := mats * h * f
+	if t.NumExperts > 0 {
+		mlp = int64(t.NumExperts)*mats*h*f + h*int64(t.NumExperts) // experts + router
+	}
+	perLayer := 4*h*h + mlp + 4*h // qkv+proj, mlp, layernorm params
+	return int64(t.Layers)*perLayer + int64(t.Vocab)*h + int64(t.Seq)*h
+}
+
+// TrainFLOPsPerIter returns the forward+backward FLOPs for one
+// iteration at the given global batch size, including the attention
+// quadratic term and the LM head (the Megatron-LM accounting used to
+// report MFU).
+func (t Transformer) TrainFLOPsPerIter(globalBatch int) float64 {
+	b := float64(globalBatch)
+	s := float64(t.Seq)
+	h := float64(t.Hidden)
+	l := float64(t.Layers)
+	v := float64(t.Vocab)
+	f := float64(t.FFN)
+	mlpMult := 2.0
+	if t.GatedMLP {
+		mlpMult = 3.0
+	}
+	if t.NumExperts > 0 {
+		// Active parameters only: each token visits TopK experts.
+		mlpMult *= float64(t.ExpertTopK())
+	}
+	// Per layer, per token, forward: 2*(4h^2) attn proj + 2*mlpMult*h*f
+	// mlp + 4*h*s attention scores/context. Backward is 2x forward.
+	perTokenLayer := 2*(4*h*h+mlpMult*h*f) + 4*h*s
+	head := 2 * v * h
+	return 3 * b * s * (l*perTokenLayer + head)
+}
+
+// String implements fmt.Stringer.
+func (t Transformer) String() string {
+	return fmt.Sprintf("%s (%.1fB params)", t.Name, float64(t.Params())/1e9)
+}
+
+// GPT3 family presets used throughout the evaluation.
+
+// GPT3Small345M is the GPT-2/3 345M configuration (generality study).
+func GPT3Small345M() Transformer {
+	return Transformer{Name: "GPT3-345M", Layers: 24, Hidden: 1024, Heads: 16, FFN: 4096, Seq: 1024, Vocab: 51200}
+}
+
+// GPT3_1_3B is GPT-3 XL.
+func GPT3_1_3B() Transformer {
+	return Transformer{Name: "GPT3-1.3B", Layers: 24, Hidden: 2048, Heads: 16, FFN: 8192, Seq: 2048, Vocab: 51200}
+}
+
+// GPT3_2_7B is the 2.7B model evaluated on the V100 clusters.
+func GPT3_2_7B() Transformer {
+	return Transformer{Name: "GPT3-2.7B", Layers: 32, Hidden: 2560, Heads: 32, FFN: 10240, Seq: 2048, Vocab: 51200}
+}
+
+// GPT3_18_4B is the 18.4B model evaluated on the H100 clusters.
+func GPT3_18_4B() Transformer {
+	return Transformer{Name: "GPT3-18.4B", Layers: 40, Hidden: 6144, Heads: 48, FFN: 24576, Seq: 2048, Vocab: 51200}
+}
+
+// GPT3_145_6B is the hyperscale model of §7.4.
+func GPT3_145_6B() Transformer {
+	return Transformer{Name: "GPT3-145.6B", Layers: 96, Hidden: 11264, Heads: 88, FFN: 45056, Seq: 2048, Vocab: 51200}
+}
+
+// Llama2_7B with its gated MLP and 4K context.
+func Llama2_7B() Transformer {
+	return Transformer{Name: "Llama2-7B", Layers: 32, Hidden: 4096, Heads: 32, FFN: 11008, GatedMLP: true, Seq: 4096, Vocab: 32000}
+}
+
+// BERTLarge for the generality study.
+func BERTLarge() Transformer {
+	return Transformer{Name: "BERT-Large", Layers: 24, Hidden: 1024, Heads: 16, FFN: 4096, Seq: 512, Vocab: 30522}
+}
+
+// T5Large approximated as a 48-layer stack (24 encoder + 24 decoder).
+func T5Large() Transformer {
+	return Transformer{Name: "T5-Large", Layers: 48, Hidden: 1024, Heads: 16, FFN: 4096, Seq: 512, Vocab: 32128}
+}
+
+// ViTLarge treats patches as sequence positions.
+func ViTLarge() Transformer {
+	return Transformer{Name: "ViT-Large", Layers: 24, Hidden: 1024, Heads: 16, FFN: 4096, Seq: 577, Vocab: 1000}
+}
+
+// ByName looks up a transformer preset.
+func ByName(name string) (Transformer, error) {
+	switch name {
+	case "gpt3-345m":
+		return GPT3Small345M(), nil
+	case "gpt3-1.3b":
+		return GPT3_1_3B(), nil
+	case "gpt3-2.7b":
+		return GPT3_2_7B(), nil
+	case "gpt3-18.4b":
+		return GPT3_18_4B(), nil
+	case "gpt3-145.6b":
+		return GPT3_145_6B(), nil
+	case "llama2-7b":
+		return Llama2_7B(), nil
+	case "bert-large":
+		return BERTLarge(), nil
+	case "t5-large":
+		return T5Large(), nil
+	case "vit-large":
+		return ViTLarge(), nil
+	default:
+		return Transformer{}, fmt.Errorf("models: unknown transformer %q", name)
+	}
+}

@@ -1,0 +1,247 @@
+// Package nccl emulates the NCCL communicator API. Each worker
+// initializes communicators with CommInitRank using a shared unique
+// ID; collectives then carry (communicator, sequence) identifiers the
+// collator uses to reconstruct the global communication pattern —
+// which workers participate and in what topology — exactly as the
+// paper describes.
+//
+// Because the training control flow never depends on the transferred
+// values, no data moves and no inter-process synchronization is
+// needed: every worker just records its side of each collective.
+package nccl
+
+import (
+	"fmt"
+	"sort"
+
+	"maya/internal/cuda"
+	"maya/internal/prand"
+)
+
+// UniqueID identifies a communicator across workers, standing in for
+// ncclUniqueId. All members must present the same ID.
+type UniqueID uint64
+
+// UniqueIDFor derives a deterministic unique ID from a logical group
+// tag (e.g. "tp", "dp") and the global ranks of the members. Real
+// jobs broadcast an ID from rank 0; deriving it deterministically
+// gives the same global identity without IPC, which the paper notes
+// the emulator does not need.
+func UniqueIDFor(tag string, globalRanks []int) UniqueID {
+	sorted := append([]int(nil), globalRanks...)
+	sort.Ints(sorted)
+	h := prand.Hash64("nccl", tag)
+	for _, r := range sorted {
+		h = prand.HashInts(h, int64(r))
+	}
+	return UniqueID(h)
+}
+
+// Communicator is one worker's handle on a collective group, as
+// returned by ncclCommInitRank.
+type Communicator struct {
+	dev    cuda.Device
+	id     UniqueID
+	nranks int
+	rank   int
+
+	seq      int         // per-communicator collective counter
+	sendSeq  map[int]int // per-destination P2P counters
+	recvSeq  map[int]int // per-source P2P counters
+	groupLen int         // >0 while inside GroupStart/GroupEnd
+	valid    bool
+}
+
+// CommInitRank initializes this worker's membership in a
+// communicator. nranks is the group size and rank this worker's
+// position within the group.
+func CommInitRank(dev cuda.Device, nranks, rank int, id UniqueID) (*Communicator, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("nccl: %w: nil device", cuda.ErrInvalidValue)
+	}
+	if nranks <= 0 || rank < 0 || rank >= nranks {
+		return nil, fmt.Errorf("nccl: %w: rank %d of %d", cuda.ErrInvalidValue, rank, nranks)
+	}
+	c := &Communicator{
+		dev:     dev,
+		id:      id,
+		nranks:  nranks,
+		rank:    rank,
+		sendSeq: make(map[int]int),
+		recvSeq: make(map[int]int),
+		valid:   true,
+	}
+	// Record the initialization so the collator can learn communicator
+	// membership (which global ranks own which comm rank).
+	err := dev.LaunchCollective(cuda.CollectiveDesc{
+		Op:     "ncclCommInitRank",
+		CommID: uint64(id),
+		Seq:    -1,
+		NRanks: nranks,
+		Rank:   rank,
+		Peer:   -1,
+	}, cuda.DefaultStream)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Destroy invalidates the communicator (ncclCommDestroy).
+func (c *Communicator) Destroy() error {
+	if !c.valid {
+		return fmt.Errorf("nccl: %w", cuda.ErrInvalidHandle)
+	}
+	c.valid = false
+	return nil
+}
+
+// NRanks returns the communicator size.
+func (c *Communicator) NRanks() int { return c.nranks }
+
+// Rank returns this worker's rank within the communicator.
+func (c *Communicator) Rank() int { return c.rank }
+
+// ID returns the communicator's global identity.
+func (c *Communicator) ID() UniqueID { return c.id }
+
+func (c *Communicator) collective(op string, bytes int64, s cuda.Stream) error {
+	if !c.valid {
+		return fmt.Errorf("nccl: %w", cuda.ErrInvalidHandle)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("nccl: %w: %s of %d bytes", cuda.ErrInvalidValue, op, bytes)
+	}
+	seq := c.seq
+	c.seq++
+	return c.dev.LaunchCollective(cuda.CollectiveDesc{
+		Op:     op,
+		CommID: uint64(c.id),
+		Seq:    seq,
+		NRanks: c.nranks,
+		Rank:   c.rank,
+		Peer:   -1,
+		Bytes:  bytes,
+	}, s)
+}
+
+// AllReduce reduces bytes of payload across the group (ncclAllReduce).
+func (c *Communicator) AllReduce(bytes int64, s cuda.Stream) error {
+	return c.collective("ncclAllReduce", bytes, s)
+}
+
+// AllGather gathers each rank's bytes-sized shard (ncclAllGather).
+// bytes is the per-rank contribution, as in nccl-tests.
+func (c *Communicator) AllGather(bytes int64, s cuda.Stream) error {
+	return c.collective("ncclAllGather", bytes, s)
+}
+
+// ReduceScatter reduces and scatters shards (ncclReduceScatter).
+// bytes is the per-rank output size.
+func (c *Communicator) ReduceScatter(bytes int64, s cuda.Stream) error {
+	return c.collective("ncclReduceScatter", bytes, s)
+}
+
+// Broadcast sends root's bytes to all ranks (ncclBroadcast).
+func (c *Communicator) Broadcast(bytes int64, root int, s cuda.Stream) error {
+	if root < 0 || root >= c.nranks {
+		return fmt.Errorf("nccl: %w: broadcast root %d of %d", cuda.ErrInvalidValue, root, c.nranks)
+	}
+	return c.collective("ncclBroadcast", bytes, s)
+}
+
+// AllToAll exchanges bytes-per-peer shards between all ranks.
+func (c *Communicator) AllToAll(bytes int64, s cuda.Stream) error {
+	return c.collective("ncclAllToAll", bytes, s)
+}
+
+// Barrier synchronizes the group (implemented by NCCL as a tiny
+// all-reduce, which is also how frameworks spell it).
+func (c *Communicator) Barrier(s cuda.Stream) error {
+	return c.collective("ncclAllReduce", 4, s)
+}
+
+// Send transfers bytes to peer (ncclSend). The per-(src,dst) sequence
+// number pairs it with the peer's matching Recv.
+func (c *Communicator) Send(bytes int64, peer int, s cuda.Stream) error {
+	if err := c.checkPeer(peer, bytes); err != nil {
+		return err
+	}
+	seq := c.sendSeq[peer]
+	c.sendSeq[peer]++
+	return c.dev.LaunchCollective(cuda.CollectiveDesc{
+		Op:     "ncclSend",
+		CommID: uint64(c.id),
+		Seq:    seq,
+		NRanks: c.nranks,
+		Rank:   c.rank,
+		Peer:   peer,
+		Bytes:  bytes,
+	}, s)
+}
+
+// SendTagged transfers bytes to peer with an explicit matching tag,
+// the way frameworks realize deterministic P2P matching for complex
+// pipeline schedules (Megatron's batched isend/irecv groups). The
+// tag replaces the implicit per-pair sequence number.
+func (c *Communicator) SendTagged(bytes int64, peer, tag int, s cuda.Stream) error {
+	if err := c.checkPeer(peer, bytes); err != nil {
+		return err
+	}
+	return c.dev.LaunchCollective(cuda.CollectiveDesc{
+		Op:     "ncclSend",
+		CommID: uint64(c.id),
+		Seq:    tag,
+		NRanks: c.nranks,
+		Rank:   c.rank,
+		Peer:   peer,
+		Bytes:  bytes,
+	}, s)
+}
+
+// RecvTagged receives bytes from peer with an explicit matching tag.
+func (c *Communicator) RecvTagged(bytes int64, peer, tag int, s cuda.Stream) error {
+	if err := c.checkPeer(peer, bytes); err != nil {
+		return err
+	}
+	return c.dev.LaunchCollective(cuda.CollectiveDesc{
+		Op:     "ncclRecv",
+		CommID: uint64(c.id),
+		Seq:    tag,
+		NRanks: c.nranks,
+		Rank:   c.rank,
+		Peer:   peer,
+		Bytes:  bytes,
+	}, s)
+}
+
+// Recv receives bytes from peer (ncclRecv).
+func (c *Communicator) Recv(bytes int64, peer int, s cuda.Stream) error {
+	if err := c.checkPeer(peer, bytes); err != nil {
+		return err
+	}
+	seq := c.recvSeq[peer]
+	c.recvSeq[peer]++
+	return c.dev.LaunchCollective(cuda.CollectiveDesc{
+		Op:     "ncclRecv",
+		CommID: uint64(c.id),
+		Seq:    seq,
+		NRanks: c.nranks,
+		Rank:   c.rank,
+		Peer:   peer,
+		Bytes:  bytes,
+	}, s)
+}
+
+func (c *Communicator) checkPeer(peer int, bytes int64) error {
+	if !c.valid {
+		return fmt.Errorf("nccl: %w", cuda.ErrInvalidHandle)
+	}
+	if peer < 0 || peer >= c.nranks || peer == c.rank {
+		return fmt.Errorf("nccl: %w: peer %d of %d (self %d)", cuda.ErrInvalidValue, peer, c.nranks, c.rank)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("nccl: %w: p2p of %d bytes", cuda.ErrInvalidValue, bytes)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package netsim is a hierarchical, topology-aware collective
+// network model in the spirit of ASTRA-sim. Maya plugs it in as the
+// collective estimator for cluster scales where profiled data cannot
+// exist (the paper integrates ASTRA-sim for its 16K-GPU studies,
+// §7.4): collectives decompose into intra-node and inter-node phases
+// over the modeled fabric instead of interpolating measurements.
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"maya/internal/hardware"
+)
+
+// Model predicts collective runtimes from first principles on a
+// cluster topology.
+type Model struct {
+	cluster hardware.Cluster
+}
+
+// New builds a network model for the cluster.
+func New(cluster hardware.Cluster) *Model {
+	return &Model{cluster: cluster}
+}
+
+// linkBW returns effective intra-node bandwidth in bytes/s.
+func (m *Model) intraBW() float64 {
+	node := m.cluster.Node
+	switch node.Topology {
+	case hardware.NVSwitch:
+		return node.GPU.NVLinkGBps * 0.85 * 1e9
+	case hardware.CubeMesh:
+		return node.GPU.NVLinkGBps * 0.55 * 1e9
+	case hardware.PairwiseNVLink:
+		return node.PCIeGBps * 0.65 * 1e9
+	default:
+		return node.PCIeGBps * 0.65 * 1e9
+	}
+}
+
+func (m *Model) interBW() float64 {
+	return m.cluster.Node.Inter.PerGPUGBps * 0.80 * 1e9
+}
+
+// groupShape analyzes which nodes a rank group touches.
+func (m *Model) groupShape(ranks []int) (nodes int, perNode int) {
+	seen := make(map[int]int)
+	for _, r := range ranks {
+		seen[m.cluster.NodeOf(r)]++
+	}
+	nodes = len(seen)
+	if nodes == 0 {
+		return 1, 1
+	}
+	perNode = (len(ranks) + nodes - 1) / nodes
+	return nodes, perNode
+}
+
+// EstimateCollective implements the estimator plug-in interface: a
+// two-phase (intra, inter) decomposition of each collective.
+func (m *Model) EstimateCollective(op string, bytes int64, ranks []int, nranks int) time.Duration {
+	n := nranks
+	if n <= 0 {
+		n = len(ranks)
+	}
+	if n <= 1 || bytes <= 0 {
+		return 10 * time.Microsecond
+	}
+	nodes, perNode := m.groupShape(ranks)
+	if len(ranks) < n && nodes > 1 {
+		// Partial membership of a multi-node group: scale the node
+		// estimate by the declared size.
+		nodes = max(nodes, (n+perNode-1)/perNode)
+	}
+	intra := m.intraBW()
+	inter := m.interBW()
+	intraLat := 5e-6
+	interLat := m.cluster.Node.Inter.BaseLatency.Seconds() + 6e-6
+
+	b := float64(bytes)
+	var sec float64
+	switch op {
+	case "ncclAllReduce":
+		if nodes == 1 {
+			sec = 2 * frac(n) * b / intra
+			sec += 2 * steps(n) * intraLat
+		} else {
+			// Hierarchical: local reduce-scatter, inter-node
+			// all-reduce on shards, local all-gather.
+			g := float64(perNode)
+			sec = 2 * frac(perNode) * b / intra
+			sec += 2 * frac(nodes) * (b / g) / inter
+			sec += 2*steps(perNode)*intraLat + 2*steps(nodes)*interLat
+		}
+	case "ncclAllGather", "ncclReduceScatter":
+		total := b * float64(n)
+		if nodes == 1 {
+			sec = frac(n) * total / intra
+			sec += steps(n) * intraLat
+		} else {
+			g := float64(perNode)
+			sec = frac(perNode) * total / intra
+			sec += frac(nodes) * (total / g) / inter
+			sec += steps(perNode)*intraLat + steps(nodes)*interLat
+		}
+	case "ncclBroadcast":
+		bw := intra
+		lat := intraLat
+		if nodes > 1 {
+			bw = inter
+			lat = interLat
+		}
+		sec = b/bw + steps(n)*lat
+	case "ncclAllToAll":
+		bw := intra
+		if nodes > 1 {
+			bw = inter
+		}
+		sec = 1.5*frac(n)*b*float64(n)/bw + float64(n)*interLat
+	case "ncclSend", "ncclRecv":
+		if nodes == 1 {
+			sec = b/intra + intraLat
+		} else {
+			sec = b/(m.cluster.Node.Inter.PerGPUGBps*0.85*1e9) + interLat
+		}
+	default:
+		bw := intra
+		if nodes > 1 {
+			bw = inter
+		}
+		sec = frac(n)*b/bw + steps(n)*interLat
+	}
+	return time.Duration(sec * 1e9)
+}
+
+func frac(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) / float64(n)
+}
+
+func steps(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}

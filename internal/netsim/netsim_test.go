@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"maya/internal/hardware"
+)
+
+func TestIntraFasterThanInter(t *testing.T) {
+	m := New(hardware.DGXH100(8))
+	intra := m.EstimateCollective("ncclAllReduce", 1<<28, []int{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	inter := m.EstimateCollective("ncclAllReduce", 1<<28, []int{0, 8, 16, 24, 32, 40, 48, 56}, 8)
+	if inter < 3*intra {
+		t.Fatalf("inter %v not ≫ intra %v", inter, intra)
+	}
+}
+
+func TestBytesMonotone(t *testing.T) {
+	m := New(hardware.DGXH100(8))
+	ranks := []int{0, 8, 16, 24}
+	prev := time.Duration(0)
+	for _, b := range []int64{1 << 20, 1 << 24, 1 << 28, 1 << 32} {
+		d := m.EstimateCollective("ncclAllReduce", b, ranks, 4)
+		if d <= prev {
+			t.Fatalf("time not monotone in bytes: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestHierarchicalBeatsFlatInterForLargeGroups(t *testing.T) {
+	// A 64-GPU group spread over 8 nodes should cost far less than 64
+	// ranks all forced over the NIC serially: the intra phase absorbs
+	// most of the volume.
+	m := New(hardware.DGXH100(8))
+	var group []int
+	for i := 0; i < 64; i++ {
+		group = append(group, i)
+	}
+	hier := m.EstimateCollective("ncclAllReduce", 1<<28, group, 64)
+	flatBytes := 2.0 * 63 / 64 * float64(1<<28) / (50 * 0.8 * 1e9)
+	if hier.Seconds() > flatBytes {
+		t.Fatalf("hierarchical %v worse than flat ring %.3fs", hier, flatBytes)
+	}
+}
+
+func TestPartialMembershipScales(t *testing.T) {
+	m := New(hardware.DGXH100(128))
+	// Only 2 of 128 declared ranks known (dedup): node count must be
+	// inferred from the declared size, not the 2 observed ranks.
+	partial := m.EstimateCollective("ncclAllReduce", 1<<28, []int{0, 512}, 128)
+	full := make([]int, 128)
+	for i := range full {
+		full[i] = i * 8
+	}
+	complete := m.EstimateCollective("ncclAllReduce", 1<<28, full, 128)
+	ratio := partial.Seconds() / complete.Seconds()
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("partial-membership estimate off by %0.1fx", ratio)
+	}
+}
+
+func TestP2PAndSingleRank(t *testing.T) {
+	m := New(hardware.DGXH100(2))
+	if d := m.EstimateCollective("ncclAllReduce", 1<<30, []int{5}, 1); d > 100*time.Microsecond {
+		t.Fatalf("singleton collective = %v", d)
+	}
+	intra := m.EstimateCollective("ncclSend", 1<<26, []int{0, 1}, 2)
+	inter := m.EstimateCollective("ncclSend", 1<<26, []int{0, 8}, 2)
+	if inter < 2*intra {
+		t.Fatalf("inter-node send %v not ≫ NVSwitch send %v", inter, intra)
+	}
+}
+
+func TestAllGatherScalesWithGroup(t *testing.T) {
+	m := New(hardware.DGXH100(32))
+	mk := func(n int) []int {
+		r := make([]int, n)
+		for i := range r {
+			r[i] = i * 8
+		}
+		return r
+	}
+	// Per-rank shard fixed: total volume grows with n, so time must too.
+	small := m.EstimateCollective("ncclAllGather", 1<<24, mk(4), 4)
+	large := m.EstimateCollective("ncclAllGather", 1<<24, mk(32), 32)
+	if large < 4*small {
+		t.Fatalf("allgather n=32 (%v) not ≫ n=4 (%v)", large, small)
+	}
+}

@@ -1,0 +1,112 @@
+// Package prand provides small deterministic pseudo-random utilities
+// shared across Maya's subsystems (host-delay jitter, synthetic
+// silicon noise, forest bagging, search algorithms).
+//
+// Everything is seeded explicitly and reproducible across runs and
+// platforms — experiments must be replayable bit-for-bit, which rules
+// out math/rand's global state and time seeding.
+package prand
+
+import "math"
+
+// SplitMix64 is a tiny, high-quality 64-bit PRNG (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators"). The zero value
+// is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a value uniform in [0, n). n must be positive.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	// Lemire's multiply-shift rejection-free reduction is fine here:
+	// tiny bias is irrelevant for simulation noise.
+	hi, _ := mul64(s.Uint64(), n)
+	return hi
+}
+
+// Intn returns a value uniform in [0, n).
+func (s *SplitMix64) Intn(n int) int { return int(s.Uint64n(uint64(n))) }
+
+// Float64 returns a value uniform in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal deviate (Box–Muller).
+func (s *SplitMix64) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		if u2 := s.Float64(); u1 > 1e-300 {
+			return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n), Fisher–Yates.
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	return a1*b1 + t>>32 + w1>>32, a * b
+}
+
+// Hash64 mixes an arbitrary byte string into a 64-bit value (FNV-1a
+// followed by a SplitMix64 finalizer). Used to derive deterministic
+// per-entity seeds, e.g. per-kernel silicon quirks.
+func Hash64(parts ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+		h ^= 0xff // separator so ("ab","c") != ("a","bc")
+		h *= prime
+	}
+	z := h
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// HashInts folds integers into an existing hash value.
+func HashInts(h uint64, vals ...int64) uint64 {
+	for _, v := range vals {
+		h ^= uint64(v) + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		z := h
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		h = z ^ (z >> 27)
+	}
+	return h
+}

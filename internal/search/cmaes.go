@@ -1,0 +1,226 @@
+package search
+
+import (
+	"math"
+
+	"maya/internal/prand"
+)
+
+// cmaes is a from-scratch Covariance Matrix Adaptation Evolution
+// Strategy (Hansen & Ostermeier) — the search algorithm Maya-Search
+// runs by default. Full covariance with rank-one and rank-μ updates;
+// sampling uses a Cholesky factor, and the conjugate evolution path
+// is tracked in z-space (whitened coordinates), which avoids an
+// explicit C^(-1/2).
+type cmaes struct {
+	d      int
+	lambda int
+	mu     int
+	rng    *prand.SplitMix64
+
+	weights []float64
+	mueff   float64
+	cc, cs  float64
+	c1, cmu float64
+	damps   float64
+	chiN    float64
+
+	mean  []float64
+	sigma float64
+	cov   [][]float64
+	pc    []float64
+	ps    []float64
+
+	// Per-generation state: sampled z vectors keyed by candidate.
+	zs [][]float64
+	xs [][]float64
+}
+
+func newCMAES(d, batch int, seed uint64) *cmaes {
+	lambda := 4 + int(3*math.Log(float64(d)))
+	if batch > lambda {
+		lambda = batch
+	}
+	mu := lambda / 2
+	c := &cmaes{
+		d:      d,
+		lambda: lambda,
+		mu:     mu,
+		rng:    prand.New(seed),
+		sigma:  0.3,
+	}
+	c.weights = make([]float64, mu)
+	var sum float64
+	for i := 0; i < mu; i++ {
+		c.weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i)+1)
+		sum += c.weights[i]
+	}
+	var sumSq float64
+	for i := range c.weights {
+		c.weights[i] /= sum
+		sumSq += c.weights[i] * c.weights[i]
+	}
+	c.mueff = 1 / sumSq
+	fd := float64(d)
+	c.cc = (4 + c.mueff/fd) / (fd + 4 + 2*c.mueff/fd)
+	c.cs = (c.mueff + 2) / (fd + c.mueff + 5)
+	c.c1 = 2 / ((fd+1.3)*(fd+1.3) + c.mueff)
+	c.cmu = math.Min(1-c.c1, 2*(c.mueff-2+1/c.mueff)/((fd+2)*(fd+2)+c.mueff))
+	c.damps = 1 + 2*math.Max(0, math.Sqrt((c.mueff-1)/(fd+1))-1) + c.cs
+	c.chiN = math.Sqrt(fd) * (1 - 1/(4*fd) + 1/(21*fd*fd))
+
+	c.mean = make([]float64, d)
+	for i := range c.mean {
+		c.mean[i] = 0.5
+	}
+	c.cov = identity(d)
+	c.pc = make([]float64, d)
+	c.ps = make([]float64, d)
+	return c
+}
+
+func identity(d int) [][]float64 {
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = make([]float64, d)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// cholesky returns the lower-triangular factor of a symmetric
+// positive-definite matrix, jittering the diagonal if needed.
+func cholesky(a [][]float64) [][]float64 {
+	d := len(a)
+	l := make([][]float64, d)
+	for i := range l {
+		l[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 1e-12 {
+					sum = 1e-12
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l
+}
+
+func (c *cmaes) generation() [][]float64 {
+	l := cholesky(c.cov)
+	c.zs = make([][]float64, c.lambda)
+	c.xs = make([][]float64, c.lambda)
+	for i := 0; i < c.lambda; i++ {
+		z := make([]float64, c.d)
+		for j := range z {
+			z[j] = c.rng.NormFloat64()
+		}
+		y := matVec(l, z)
+		x := make([]float64, c.d)
+		for j := range x {
+			x[j] = reflect01(c.mean[j] + c.sigma*y[j])
+		}
+		c.zs[i] = z
+		c.xs[i] = x
+	}
+	out := make([][]float64, c.lambda)
+	for i := range out {
+		out[i] = append([]float64(nil), c.xs[i]...)
+	}
+	return out
+}
+
+func matVec(m [][]float64, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i := range m {
+		var s float64
+		for j := range v {
+			s += m[i][j] * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (c *cmaes) report(xs [][]float64, ys []float64) {
+	if len(ys) < c.mu {
+		return
+	}
+	order := sortedIndices(ys)
+
+	// Effective y_i in sampling space: (x_i - mean)/sigma, which
+	// respects the boundary reflection the candidates went through.
+	yw := make([]float64, c.d)
+	zw := make([]float64, c.d)
+	newMean := make([]float64, c.d)
+	copy(newMean, c.mean)
+	ys2 := make([][]float64, c.mu)
+	for r := 0; r < c.mu; r++ {
+		i := order[r]
+		w := c.weights[r]
+		yi := make([]float64, c.d)
+		for j := 0; j < c.d; j++ {
+			yi[j] = (xs[i][j] - c.mean[j]) / c.sigma
+			yw[j] += w * yi[j]
+			if i < len(c.zs) {
+				zw[j] += w * c.zs[i][j]
+			}
+		}
+		ys2[r] = yi
+	}
+	for j := 0; j < c.d; j++ {
+		newMean[j] = reflect01(c.mean[j] + c.sigma*yw[j])
+	}
+
+	// Step-size path in whitened coordinates.
+	csf := math.Sqrt(c.cs * (2 - c.cs) * c.mueff)
+	var psNorm float64
+	for j := 0; j < c.d; j++ {
+		c.ps[j] = (1-c.cs)*c.ps[j] + csf*zw[j]
+		psNorm += c.ps[j] * c.ps[j]
+	}
+	psNorm = math.Sqrt(psNorm)
+
+	// Covariance path.
+	hsig := 0.0
+	if psNorm/math.Sqrt(1-math.Pow(1-c.cs, 2))/c.chiN < 1.4+2/(float64(c.d)+1) {
+		hsig = 1
+	}
+	ccf := math.Sqrt(c.cc * (2 - c.cc) * c.mueff)
+	for j := 0; j < c.d; j++ {
+		c.pc[j] = (1-c.cc)*c.pc[j] + hsig*ccf*yw[j]
+	}
+
+	// Covariance update: rank-one plus rank-μ.
+	c1a := c.c1 * (1 - (1-hsig)*c.cc*(2-c.cc))
+	for i := 0; i < c.d; i++ {
+		for j := 0; j <= i; j++ {
+			v := (1 - c1a - c.cmu) * c.cov[i][j]
+			v += c.c1 * c.pc[i] * c.pc[j]
+			for r := 0; r < c.mu; r++ {
+				v += c.cmu * c.weights[r] * ys2[r][i] * ys2[r][j]
+			}
+			c.cov[i][j] = v
+			c.cov[j][i] = v
+		}
+	}
+
+	// Step-size adaptation.
+	c.sigma *= math.Exp((c.cs / c.damps) * (psNorm/c.chiN - 1))
+	if c.sigma > 0.6 {
+		c.sigma = 0.6
+	}
+	if c.sigma < 0.01 {
+		c.sigma = 0.01
+	}
+	c.mean = newMean
+}

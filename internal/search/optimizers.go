@@ -1,0 +1,345 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"maya/internal/prand"
+)
+
+// optimizer is the ask/tell protocol the trial scheduler drives. A
+// generation proposes candidate vectors in [0,1)^d; report feeds the
+// objective values (lower is better) back.
+type optimizer interface {
+	generation() [][]float64
+	report(xs [][]float64, ys []float64)
+}
+
+// newOptimizer builds a named optimizer over a d-dimensional space.
+// batch hints the desired candidates per generation (concurrency).
+func newOptimizer(name string, space Space, batch int, seed uint64) (optimizer, error) {
+	d := len(space.Dims())
+	switch name {
+	case "cma", "cmaes", "":
+		return newCMAES(d, batch, seed), nil
+	case "random":
+		return &randomOpt{d: d, batch: batch, rng: prand.New(seed)}, nil
+	case "grid":
+		return &gridOpt{points: space.Enumerate(), space: space, batch: batch}, nil
+	case "oneplusone":
+		return newOnePlusOne(d, batch, seed), nil
+	case "pso":
+		return newPSO(d, max(batch, 10), seed), nil
+	case "twopointsde":
+		return newTwoPointsDE(d, max(batch, 12), seed), nil
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %q", name)
+	}
+}
+
+// randomOpt samples uniformly.
+type randomOpt struct {
+	d, batch int
+	rng      *prand.SplitMix64
+}
+
+func (r *randomOpt) generation() [][]float64 {
+	out := make([][]float64, r.batch)
+	for i := range out {
+		x := make([]float64, r.d)
+		for j := range x {
+			x[j] = r.rng.Float64()
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func (r *randomOpt) report([][]float64, []float64) {}
+
+// gridOpt walks the full enumeration.
+type gridOpt struct {
+	points []Knobs
+	space  Space
+	batch  int
+	pos    int
+}
+
+func (g *gridOpt) generation() [][]float64 {
+	dims := g.space.Dims()
+	var out [][]float64
+	for len(out) < g.batch && g.pos < len(g.points) {
+		k := g.points[g.pos]
+		g.pos++
+		out = append(out, knobsToVector(g.space, k, dims))
+	}
+	return out
+}
+
+func (g *gridOpt) report([][]float64, []float64) {}
+
+// knobsToVector inverts Space.FromVector (bin centers).
+func knobsToVector(s Space, k Knobs, dims []int) []float64 {
+	idx := []int{
+		indexOfInt(s.TP, k.TP),
+		indexOfInt(s.PP, k.PP),
+		indexOfInt(s.MicroMult, k.MicroMult),
+		indexOfInt(s.VirtualStages, k.VirtualStages),
+		indexOfBool(s.ActRecompute, k.ActRecompute),
+		indexOfBool(s.SeqParallel, k.SeqParallel),
+		indexOfBool(s.DistOptimizer, k.DistOptimizer),
+	}
+	x := make([]float64, len(dims))
+	for i := range x {
+		x[i] = (float64(idx[i]) + 0.5) / float64(dims[i])
+	}
+	return x
+}
+
+func indexOfInt(s []int, v int) int {
+	for i, e := range s {
+		if e == v {
+			return i
+		}
+	}
+	return 0
+}
+
+func indexOfBool(s []bool, v bool) int {
+	for i, e := range s {
+		if e == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// onePlusOne is a (1+λ)-ES with one-fifth success-rule step
+// adaptation.
+type onePlusOne struct {
+	d, batch int
+	rng      *prand.SplitMix64
+	best     []float64
+	bestY    float64
+	sigma    float64
+	started  bool
+}
+
+func newOnePlusOne(d, batch int, seed uint64) *onePlusOne {
+	return &onePlusOne{d: d, batch: max(batch, 1), rng: prand.New(seed), sigma: 0.25, bestY: inf}
+}
+
+const inf = 1e30
+
+func (o *onePlusOne) generation() [][]float64 {
+	out := make([][]float64, o.batch)
+	for i := range out {
+		x := make([]float64, o.d)
+		if !o.started {
+			for j := range x {
+				x[j] = o.rng.Float64()
+			}
+		} else {
+			for j := range x {
+				x[j] = reflect01(o.best[j] + o.sigma*o.rng.NormFloat64())
+			}
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func (o *onePlusOne) report(xs [][]float64, ys []float64) {
+	improved := false
+	for i, y := range ys {
+		if y < o.bestY {
+			o.bestY = y
+			o.best = append([]float64(nil), xs[i]...)
+			improved = true
+		}
+	}
+	o.started = true
+	if improved {
+		o.sigma *= 1.6
+	} else {
+		o.sigma *= 0.85
+	}
+	if o.sigma < 0.02 {
+		o.sigma = 0.02
+	}
+	if o.sigma > 0.5 {
+		o.sigma = 0.5
+	}
+}
+
+// pso is standard global-best particle swarm optimization.
+type pso struct {
+	d     int
+	rng   *prand.SplitMix64
+	pos   [][]float64
+	vel   [][]float64
+	pbest [][]float64
+	pbY   []float64
+	gbest []float64
+	gbY   float64
+}
+
+func newPSO(d, swarm int, seed uint64) *pso {
+	p := &pso{d: d, rng: prand.New(seed), gbY: inf}
+	p.pos = make([][]float64, swarm)
+	p.vel = make([][]float64, swarm)
+	p.pbest = make([][]float64, swarm)
+	p.pbY = make([]float64, swarm)
+	for i := range p.pos {
+		p.pos[i] = make([]float64, d)
+		p.vel[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			p.pos[i][j] = p.rng.Float64()
+			p.vel[i][j] = (p.rng.Float64() - 0.5) * 0.2
+		}
+		p.pbest[i] = append([]float64(nil), p.pos[i]...)
+		p.pbY[i] = inf
+	}
+	return p
+}
+
+func (p *pso) generation() [][]float64 {
+	out := make([][]float64, len(p.pos))
+	for i := range p.pos {
+		out[i] = append([]float64(nil), p.pos[i]...)
+	}
+	return out
+}
+
+func (p *pso) report(xs [][]float64, ys []float64) {
+	const (
+		w  = 0.72
+		c1 = 1.49
+		c2 = 1.49
+	)
+	for i := range xs {
+		if i >= len(p.pos) {
+			break
+		}
+		if ys[i] < p.pbY[i] {
+			p.pbY[i] = ys[i]
+			p.pbest[i] = append([]float64(nil), xs[i]...)
+		}
+		if ys[i] < p.gbY {
+			p.gbY = ys[i]
+			p.gbest = append([]float64(nil), xs[i]...)
+		}
+	}
+	if p.gbest == nil {
+		return
+	}
+	for i := range p.pos {
+		for j := 0; j < p.d; j++ {
+			r1, r2 := p.rng.Float64(), p.rng.Float64()
+			p.vel[i][j] = w*p.vel[i][j] +
+				c1*r1*(p.pbest[i][j]-p.pos[i][j]) +
+				c2*r2*(p.gbest[j]-p.pos[i][j])
+			if p.vel[i][j] > 0.3 {
+				p.vel[i][j] = 0.3
+			}
+			if p.vel[i][j] < -0.3 {
+				p.vel[i][j] = -0.3
+			}
+			p.pos[i][j] = reflect01(p.pos[i][j] + p.vel[i][j])
+		}
+	}
+}
+
+// twoPointsDE is differential evolution with two-point crossover
+// (nevergrad's TwoPointsDE, the variant the paper's Appendix C runs).
+type twoPointsDE struct {
+	d    int
+	rng  *prand.SplitMix64
+	pop  [][]float64
+	fit  []float64
+	cand [][]float64
+	tgt  []int
+}
+
+func newTwoPointsDE(d, popSize int, seed uint64) *twoPointsDE {
+	de := &twoPointsDE{d: d, rng: prand.New(seed)}
+	de.pop = make([][]float64, popSize)
+	de.fit = make([]float64, popSize)
+	for i := range de.pop {
+		de.pop[i] = make([]float64, d)
+		for j := range de.pop[i] {
+			de.pop[i][j] = de.rng.Float64()
+		}
+		de.fit[i] = inf
+	}
+	return de
+}
+
+func (de *twoPointsDE) generation() [][]float64 {
+	const f = 0.8
+	n := len(de.pop)
+	de.cand = de.cand[:0]
+	de.tgt = de.tgt[:0]
+	for i := 0; i < n; i++ {
+		if de.fit[i] == inf {
+			// Population not yet evaluated: propose it directly.
+			de.cand = append(de.cand, append([]float64(nil), de.pop[i]...))
+			de.tgt = append(de.tgt, i)
+			continue
+		}
+		a, b, c := de.rng.Intn(n), de.rng.Intn(n), de.rng.Intn(n)
+		mutant := make([]float64, de.d)
+		for j := 0; j < de.d; j++ {
+			mutant[j] = reflect01(de.pop[a][j] + f*(de.pop[b][j]-de.pop[c][j]))
+		}
+		// Two-point crossover between target and mutant.
+		p1 := de.rng.Intn(de.d)
+		p2 := de.rng.Intn(de.d)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		child := append([]float64(nil), de.pop[i]...)
+		for j := p1; j <= p2; j++ {
+			child[j] = mutant[j]
+		}
+		de.cand = append(de.cand, child)
+		de.tgt = append(de.tgt, i)
+	}
+	return de.cand
+}
+
+func (de *twoPointsDE) report(xs [][]float64, ys []float64) {
+	for i := range xs {
+		if i >= len(de.tgt) {
+			break
+		}
+		t := de.tgt[i]
+		if ys[i] <= de.fit[t] {
+			de.fit[t] = ys[i]
+			de.pop[t] = append([]float64(nil), xs[i]...)
+		}
+	}
+}
+
+// reflect01 folds a coordinate back into [0,1).
+func reflect01(v float64) float64 {
+	for v < 0 || v >= 1 {
+		if v < 0 {
+			v = -v
+		}
+		if v >= 1 {
+			v = 2 - v - 1e-9
+		}
+	}
+	return v
+}
+
+// sortedIndices returns indices ordered by ascending value.
+func sortedIndices(ys []float64) []int {
+	idx := make([]int, len(ys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ys[idx[a]] < ys[idx[b]] })
+	return idx
+}

@@ -1,0 +1,363 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"maya/internal/framework"
+	"maya/internal/prand"
+)
+
+// EvalResult is what the evaluator (Maya's pipeline, or ground truth
+// in oracle studies) reports for one recipe.
+type EvalResult struct {
+	OOM      bool
+	IterTime time.Duration
+	MFU      float64
+	PeakMem  int64
+}
+
+// Evaluator runs one trial. Implementations must be safe for
+// concurrent use; Maya's pipeline is.
+type Evaluator func(cfg framework.MegatronConfig) (EvalResult, error)
+
+// Status classifies how a trial was resolved (Fig. 15).
+type Status int
+
+// Trial statuses.
+const (
+	// StatusExecuted trials ran the full emulation pipeline.
+	StatusExecuted Status = iota
+	// StatusCached trials repeated an already-evaluated point.
+	StatusCached
+	// StatusSkipped trials were resolved by a pruning tactic.
+	StatusSkipped
+	// StatusInvalid points violate structural constraints.
+	StatusInvalid
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusExecuted:
+		return "executed"
+	case StatusCached:
+		return "cached"
+	case StatusSkipped:
+		return "skipped"
+	default:
+		return "invalid"
+	}
+}
+
+// Result is one resolved trial.
+type Result struct {
+	Knobs    Knobs
+	Config   framework.MegatronConfig
+	Status   Status
+	Invalid  bool
+	OOM      bool
+	IterTime time.Duration
+	MFU      float64
+	PeakMem  int64
+	Tactic   string // pruning tactic that resolved a skipped trial
+}
+
+// Options configures a search run.
+type Options struct {
+	// Algorithm: "cma" (default), "random", "grid", "oneplusone",
+	// "pso", "twopointsde".
+	Algorithm string
+	// Budget is the maximum number of sampled points (default 2000).
+	Budget int
+	// Parallel is the number of concurrent trials (default 8).
+	Parallel int
+	// Seed drives the optimizer's randomness.
+	Seed uint64
+	// DisablePruning turns the Table-10 tactics off (ablation).
+	DisablePruning bool
+	// EarlyStopWindow stops the search when the top-5 MFU set is
+	// unchanged for this many consecutive non-OOM trials (default 20;
+	// negative disables).
+	EarlyStopWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = "cma"
+	}
+	if o.Budget == 0 {
+		o.Budget = 2000
+	}
+	if o.Parallel == 0 {
+		o.Parallel = 8
+	}
+	if o.EarlyStopWindow == 0 {
+		o.EarlyStopWindow = 20
+	}
+	return o
+}
+
+// ProgressPoint records best-so-far quality against search effort —
+// the Fig. 16 trajectories.
+type ProgressPoint struct {
+	UniqueValid int
+	BestMFU     float64
+	BestIter    time.Duration
+}
+
+// Stats aggregates trial accounting.
+type Stats struct {
+	Executed int
+	Cached   int
+	Skipped  int
+	Invalid  int
+	// SkippedByTactic breaks skips down per pruning rule.
+	SkippedByTactic map[string]int
+}
+
+// Outcome is a completed search.
+type Outcome struct {
+	Best       *Result
+	Stats      Stats
+	History    []*Result
+	Trajectory []ProgressPoint
+	Elapsed    time.Duration
+	Stopped    string // why the search ended
+}
+
+// Run executes a configuration search for the problem.
+func Run(p Problem, eval Evaluator, opts Options) (*Outcome, error) {
+	opts = opts.withDefaults()
+	space := MegatronSpace()
+	opt, err := newOptimizer(opts.Algorithm, space, opts.Parallel, prand.HashInts(opts.Seed, 0x5ea4c4))
+	if err != nil {
+		return nil, err
+	}
+	tactics := MegatronTactics()
+	if opts.DisablePruning {
+		tactics = nil
+	}
+
+	h := newHistory()
+	out := &Outcome{Stats: Stats{SkippedByTactic: make(map[string]int)}}
+	start := time.Now()
+
+	sampled := 0
+	uniqueValid := 0
+	stable := 0
+	var lastTop []float64
+
+	for sampled < opts.Budget {
+		gen := opt.generation()
+		if len(gen) == 0 {
+			out.Stopped = "space exhausted"
+			break
+		}
+		if sampled+len(gen) > opts.Budget {
+			gen = gen[:opts.Budget-sampled]
+		}
+		sampled += len(gen)
+
+		results := make([]*Result, len(gen))
+		needEval := make([]int, 0, len(gen))
+
+		// Resolve each candidate: invalid, cached, pruned or to-run.
+		for i, x := range gen {
+			k := space.FromVector(x)
+			if prev, ok := h.get(k); ok {
+				c := *prev
+				c.Status = StatusCached
+				results[i] = &c
+				out.Stats.Cached++
+				continue
+			}
+			cfg, ok := p.Build(k)
+			if !ok {
+				r := &Result{Knobs: k, Status: StatusInvalid, Invalid: true}
+				results[i] = r
+				h.put(r)
+				out.Stats.Invalid++
+				continue
+			}
+			if d, tac, ok := applyTactics(tactics, k, h); ok {
+				r := &Result{
+					Knobs: k, Config: cfg, Status: StatusSkipped,
+					OOM: d.oom, IterTime: d.iterTime, MFU: d.mfu, Tactic: tac,
+				}
+				results[i] = r
+				h.put(r)
+				out.Stats.Skipped++
+				out.Stats.SkippedByTactic[tac]++
+				continue
+			}
+			results[i] = &Result{Knobs: k, Config: cfg, Status: StatusExecuted}
+			needEval = append(needEval, i)
+		}
+
+		// Concurrent trials for the unresolved candidates.
+		if err := runTrials(eval, results, needEval, opts.Parallel); err != nil {
+			return nil, err
+		}
+		for _, i := range needEval {
+			h.put(results[i])
+			out.Stats.Executed++
+		}
+
+		// Feed the optimizer and update progress tracking.
+		ys := make([]float64, len(gen))
+		for i, r := range results {
+			ys[i] = objective(r)
+			out.History = append(out.History, r)
+			if r.Status != StatusInvalid && !r.OOM && r.Status != StatusCached {
+				uniqueValid++
+			}
+			if better(r, out.Best) {
+				out.Best = r
+			}
+		}
+		opt.report(gen, ys)
+		out.Trajectory = append(out.Trajectory, ProgressPoint{
+			UniqueValid: uniqueValid,
+			BestMFU:     bestMFU(out.Best),
+			BestIter:    bestIter(out.Best),
+		})
+
+		// Early stopping on a stable top-5 (by MFU) over non-OOM
+		// trials.
+		if opts.EarlyStopWindow > 0 {
+			top := topMFU(h, 5)
+			if equalTop(top, lastTop) {
+				stable += countNonOOM(results)
+			} else {
+				stable = 0
+				lastTop = top
+			}
+			if stable >= opts.EarlyStopWindow && out.Best != nil {
+				out.Stopped = "early stop: top-5 stable"
+				break
+			}
+		}
+	}
+	if out.Stopped == "" {
+		out.Stopped = "budget exhausted"
+	}
+	out.Elapsed = time.Since(start)
+	if out.Best == nil {
+		return out, fmt.Errorf("search: no valid configuration found in %d samples", sampled)
+	}
+	return out, nil
+}
+
+func applyTactics(tactics []Tactic, k Knobs, h *history) (derived, string, bool) {
+	for _, t := range tactics {
+		if d, ok := t.Apply(k, h); ok {
+			return d, t.Name, true
+		}
+	}
+	return derived{}, "", false
+}
+
+func runTrials(eval Evaluator, results []*Result, idx []int, parallel int) error {
+	sem := make(chan struct{}, parallel)
+	errs := make([]error, len(idx))
+	var wg sync.WaitGroup
+	for n, i := range idx {
+		wg.Add(1)
+		go func(n, i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := results[i]
+			ev, err := eval(r.Config)
+			if err != nil {
+				errs[n] = fmt.Errorf("search: trial %s: %w", r.Knobs, err)
+				return
+			}
+			r.OOM = ev.OOM
+			r.IterTime = ev.IterTime
+			r.MFU = ev.MFU
+			r.PeakMem = ev.PeakMem
+		}(n, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// objective is the minimized value: iteration time, with invalid and
+// OOM points pushed out by large penalties (graded so the optimizer
+// still senses direction).
+func objective(r *Result) float64 {
+	switch {
+	case r.Invalid:
+		return 1e9
+	case r.OOM:
+		return 1e6
+	default:
+		return r.IterTime.Seconds()
+	}
+}
+
+func better(r, best *Result) bool {
+	if r.Invalid || r.OOM || r.IterTime <= 0 {
+		return false
+	}
+	return best == nil || r.IterTime < best.IterTime
+}
+
+func bestMFU(r *Result) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.MFU
+}
+
+func bestIter(r *Result) time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.IterTime
+}
+
+func topMFU(h *history, n int) []float64 {
+	var mfus []float64
+	for _, r := range h.byKnobs {
+		if !r.OOM && !r.Invalid && r.MFU > 0 {
+			mfus = append(mfus, r.MFU)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mfus)))
+	if len(mfus) > n {
+		mfus = mfus[:n]
+	}
+	return mfus
+}
+
+func equalTop(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func countNonOOM(rs []*Result) int {
+	n := 0
+	for _, r := range rs {
+		if !r.OOM && !r.Invalid {
+			n++
+		}
+	}
+	return n
+}

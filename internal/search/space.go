@@ -1,0 +1,175 @@
+// Package search implements Maya-Search: black-box configuration
+// search over Megatron training recipes driven by Maya's emulation
+// pipeline. It provides the Table-5 search space, a concurrent trial
+// scheduler with caching, the fidelity-preserving pruning tactics of
+// Appendix D, early stopping, and the ask/tell optimizers evaluated
+// in Appendix C (CMA-ES, OnePlusOne, PSO, TwoPointsDE, random and
+// grid search).
+package search
+
+import (
+	"fmt"
+
+	"maya/internal/framework"
+	"maya/internal/hardware"
+	"maya/internal/models"
+)
+
+// Knobs is one point in the recipe space (Table 5).
+type Knobs struct {
+	TP            int
+	PP            int
+	MicroMult     int
+	VirtualStages int
+	ActRecompute  bool
+	SeqParallel   bool
+	DistOptimizer bool
+}
+
+// String implements fmt.Stringer.
+func (k Knobs) String() string {
+	return fmt.Sprintf("tp%d/pp%d/x%d/v%d/re=%t/sp=%t/do=%t",
+		k.TP, k.PP, k.MicroMult, k.VirtualStages, k.ActRecompute, k.SeqParallel, k.DistOptimizer)
+}
+
+// Space is the cartesian search domain.
+type Space struct {
+	TP            []int
+	PP            []int
+	MicroMult     []int
+	VirtualStages []int
+	ActRecompute  []bool
+	SeqParallel   []bool
+	DistOptimizer []bool
+}
+
+// MegatronSpace returns the paper's Table 5 space.
+func MegatronSpace() Space {
+	return Space{
+		TP:            []int{1, 2, 4, 8},
+		PP:            []int{1, 2, 4, 8},
+		MicroMult:     []int{1, 2, 4, 6, 8},
+		VirtualStages: []int{1, 2, 4},
+		ActRecompute:  []bool{false, true},
+		SeqParallel:   []bool{false, true},
+		DistOptimizer: []bool{false, true},
+	}
+}
+
+// Dims returns the cardinality of each knob dimension.
+func (s Space) Dims() []int {
+	return []int{
+		len(s.TP), len(s.PP), len(s.MicroMult), len(s.VirtualStages),
+		len(s.ActRecompute), len(s.SeqParallel), len(s.DistOptimizer),
+	}
+}
+
+// Size returns the number of points in the space.
+func (s Space) Size() int {
+	n := 1
+	for _, d := range s.Dims() {
+		n *= d
+	}
+	return n
+}
+
+// At maps per-dimension indices to knobs.
+func (s Space) At(idx []int) Knobs {
+	return Knobs{
+		TP:            s.TP[idx[0]],
+		PP:            s.PP[idx[1]],
+		MicroMult:     s.MicroMult[idx[2]],
+		VirtualStages: s.VirtualStages[idx[3]],
+		ActRecompute:  s.ActRecompute[idx[4]],
+		SeqParallel:   s.SeqParallel[idx[5]],
+		DistOptimizer: s.DistOptimizer[idx[6]],
+	}
+}
+
+// FromVector maps a continuous vector in [0,1)^d to knobs — the
+// bridge between continuous optimizers and the discrete space.
+func (s Space) FromVector(x []float64) Knobs {
+	dims := s.Dims()
+	idx := make([]int, len(dims))
+	for i, d := range dims {
+		v := x[i]
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1 {
+			v = 0.999999
+		}
+		idx[i] = int(v * float64(d))
+	}
+	return s.At(idx)
+}
+
+// Enumerate lists every point (grid order).
+func (s Space) Enumerate() []Knobs {
+	dims := s.Dims()
+	total := s.Size()
+	out := make([]Knobs, 0, total)
+	idx := make([]int, len(dims))
+	for {
+		out = append(out, s.At(idx))
+		i := len(dims) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < dims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Problem fixes the model, cluster and batch the search optimizes.
+type Problem struct {
+	Model       models.Transformer
+	Cluster     hardware.Cluster
+	GlobalBatch int
+}
+
+// Build turns knobs into a runnable Megatron recipe; ok=false marks
+// points that violate structural constraints (the optimizer learns to
+// avoid them through penalties, and grid search skips them).
+func (p Problem) Build(k Knobs) (framework.MegatronConfig, bool) {
+	ngpus := p.Cluster.TotalGPUs()
+	if k.TP > p.Cluster.Node.GPUsPerNode {
+		// Tensor parallelism across node boundaries is never viable.
+		return framework.MegatronConfig{}, false
+	}
+	if k.TP*k.PP > ngpus {
+		return framework.MegatronConfig{}, false
+	}
+	micro := k.MicroMult
+	if k.PP > 1 {
+		micro = k.MicroMult * k.PP
+	}
+	v := k.VirtualStages
+	if k.PP == 1 {
+		v = 1
+	}
+	cfg := framework.MegatronConfig{
+		Model:         p.Model,
+		NGPUs:         ngpus,
+		GlobalBatch:   p.GlobalBatch,
+		TP:            k.TP,
+		PP:            k.PP,
+		MicroBatches:  micro,
+		VirtualStages: v,
+		ActRecompute:  k.ActRecompute,
+		SeqParallel:   k.SeqParallel && k.TP > 1,
+		DistOptimizer: k.DistOptimizer,
+	}
+	if err := cfg.Validate(); err != nil {
+		return framework.MegatronConfig{}, false
+	}
+	if cfg.MicroBatchSize() < 1 {
+		return framework.MegatronConfig{}, false
+	}
+	return cfg, true
+}

@@ -1,0 +1,116 @@
+package search
+
+import "time"
+
+// Tactic is one fidelity-preserving pruning rule (Appendix D,
+// Table 10): given a candidate and the evaluation history, it may
+// resolve the candidate without running a trial, either by proving it
+// OOMs or by transferring a known runtime. Tactics are conservative —
+// no potentially optimal configuration is ever skipped.
+type Tactic struct {
+	Name string
+	// Apply inspects the candidate against history and returns a
+	// derived result with ok=true when the trial can be skipped.
+	Apply func(k Knobs, h *history) (derived, bool)
+}
+
+type derived struct {
+	oom      bool
+	iterTime time.Duration
+	mfu      float64
+	from     Knobs
+}
+
+// history indexes completed evaluations by knobs.
+type history struct {
+	byKnobs map[Knobs]*Result
+}
+
+func newHistory() *history {
+	return &history{byKnobs: make(map[Knobs]*Result)}
+}
+
+func (h *history) get(k Knobs) (*Result, bool) {
+	r, ok := h.byKnobs[k]
+	return r, ok
+}
+
+func (h *history) put(r *Result) {
+	h.byKnobs[r.Knobs] = r
+}
+
+// MegatronTactics returns the paper's four rules.
+func MegatronTactics() []Tactic {
+	return []Tactic{
+		{
+			// Activation recomputation strictly reduces memory: if
+			// the recomputing twin OOMed, the non-recomputing config
+			// must OOM too.
+			Name: "act-recompute-oom",
+			Apply: func(k Knobs, h *history) (derived, bool) {
+				if k.ActRecompute {
+					return derived{}, false
+				}
+				twin := k
+				twin.ActRecompute = true
+				if r, ok := h.get(twin); ok && r.OOM {
+					return derived{oom: true, from: twin}, true
+				}
+				return derived{}, false
+			},
+		},
+		{
+			// Sequence parallelism reduces activation memory at no
+			// communication cost: same reasoning.
+			Name: "seq-parallel-oom",
+			Apply: func(k Knobs, h *history) (derived, bool) {
+				if k.SeqParallel || k.TP == 1 {
+					return derived{}, false
+				}
+				twin := k
+				twin.SeqParallel = true
+				if r, ok := h.get(twin); ok && r.OOM {
+					return derived{oom: true, from: twin}, true
+				}
+				return derived{}, false
+			},
+		},
+		{
+			// The distributed optimizer trades memory for
+			// communication; if the config fits without it, enabling
+			// it runs at effectively the same speed — transfer the
+			// runtime.
+			Name: "dist-opt-runtime",
+			Apply: func(k Knobs, h *history) (derived, bool) {
+				if !k.DistOptimizer {
+					return derived{}, false
+				}
+				twin := k
+				twin.DistOptimizer = false
+				if r, ok := h.get(twin); ok && !r.OOM && !r.Invalid {
+					return derived{iterTime: r.IterTime, mfu: r.MFU, from: twin}, true
+				}
+				return derived{}, false
+			},
+		},
+		{
+			// Without pipeline parallelism, utilization only degrades
+			// as microbatch count grows: a smaller-multiplier twin's
+			// runtime bounds (and approximates) this one.
+			Name: "microbatch-runtime",
+			Apply: func(k Knobs, h *history) (derived, bool) {
+				if k.PP != 1 || k.MicroMult == 1 {
+					return derived{}, false
+				}
+				for mult := k.MicroMult - 1; mult >= 1; mult-- {
+					twin := k
+					twin.MicroMult = mult
+					if r, ok := h.get(twin); ok && !r.OOM && !r.Invalid {
+						return derived{iterTime: r.IterTime, mfu: r.MFU, from: twin}, true
+					}
+				}
+				return derived{}, false
+			},
+		},
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"maya/internal/trace"
+)
+
+// MarkAt is an application annotation with its simulated host time.
+type MarkAt struct {
+	Label string
+	At    time.Duration
+}
+
+// Report is the output of a simulation run.
+type Report struct {
+	// Makespan is the completion time of the slowest worker.
+	Makespan time.Duration
+	// HostEnd is each worker's host completion time.
+	HostEnd []time.Duration
+	// Marks holds each worker's application annotations in order.
+	Marks [][]MarkAt
+	// ComputeBusy is, per worker, the union length of compute/memory
+	// op intervals.
+	ComputeBusy []time.Duration
+	// CommBusy is, per worker, the union length of collective
+	// intervals.
+	CommBusy []time.Duration
+	// ExposedComm is, per worker, collective time not hidden behind
+	// compute — the cost pipeline overlap tries to remove.
+	ExposedComm []time.Duration
+}
+
+func (e *engine) buildReport() *Report {
+	n := len(e.hosts)
+	r := &Report{
+		HostEnd:     make([]time.Duration, n),
+		Marks:       e.marks,
+		ComputeBusy: make([]time.Duration, n),
+		CommBusy:    make([]time.Duration, n),
+		ExposedComm: make([]time.Duration, n),
+	}
+	for i, h := range e.hosts {
+		end := h.t
+		for _, st := range e.byWorker[i] {
+			end = max(end, st.freeAt)
+		}
+		r.HostEnd[i] = time.Duration(end)
+		if r.HostEnd[i] > r.Makespan {
+			r.Makespan = r.HostEnd[i]
+		}
+		comp, comm, exposed := busyStats(e.intervals[i])
+		r.ComputeBusy[i] = comp
+		r.CommBusy[i] = comm
+		r.ExposedComm[i] = exposed
+	}
+	return r
+}
+
+// busyStats computes union lengths of compute and comm intervals and
+// the exposed (non-overlapped) communication time.
+func busyStats(ivs []interval) (compute, comm, exposed time.Duration) {
+	var comps, comms []interval
+	for _, iv := range ivs {
+		if iv.end <= iv.start {
+			continue
+		}
+		if iv.comm {
+			comms = append(comms, iv)
+		} else {
+			comps = append(comps, iv)
+		}
+	}
+	compU := unionize(comps)
+	commU := unionize(comms)
+	compute = time.Duration(unionLen(compU))
+	comm = time.Duration(unionLen(commU))
+	exposed = time.Duration(unionLen(commU) - overlapLen(commU, compU))
+	return compute, comm, exposed
+}
+
+// unionize merges overlapping intervals into a sorted disjoint set.
+func unionize(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+func unionLen(ivs []interval) int64 {
+	var n int64
+	for _, iv := range ivs {
+		n += iv.end - iv.start
+	}
+	return n
+}
+
+// overlapLen returns the total length of the intersection of two
+// disjoint sorted interval sets.
+func overlapLen(a, b []interval) int64 {
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := max(a[i].start, b[j].start)
+		hi := min(a[i].end, b[j].end)
+		if hi > lo {
+			n += hi - lo
+		}
+		if a[i].end < b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// IterEnds returns, for each iteration boundary index, the latest
+// iter_end mark across workers — the time the slowest worker finished
+// that iteration.
+func (r *Report) IterEnds() []time.Duration {
+	var ends []time.Duration
+	for _, marks := range r.Marks {
+		idx := 0
+		for _, m := range marks {
+			if m.Label != trace.MarkIterEnd {
+				continue
+			}
+			if idx == len(ends) {
+				ends = append(ends, m.At)
+			} else if m.At > ends[idx] {
+				ends[idx] = m.At
+			}
+			idx++
+		}
+	}
+	return ends
+}
+
+// setupEnd returns the latest setup_end mark across workers, or zero.
+func (r *Report) setupEnd() time.Duration {
+	var t time.Duration
+	for _, marks := range r.Marks {
+		for _, m := range marks {
+			if m.Label == trace.MarkSetupEnd && m.At > t {
+				t = m.At
+			}
+		}
+	}
+	return t
+}
+
+// IterTime returns the steady-state per-iteration time: the mean gap
+// between consecutive iteration boundaries when the trace holds
+// several iterations (excluding the first, which carries warmup), or
+// the single iteration's span otherwise.
+func (r *Report) IterTime() time.Duration {
+	ends := r.IterEnds()
+	switch len(ends) {
+	case 0:
+		return r.Makespan
+	case 1:
+		return ends[0] - r.setupEnd()
+	default:
+		return (ends[len(ends)-1] - ends[0]) / time.Duration(len(ends)-1)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnionize(t *testing.T) {
+	ivs := []interval{{start: 0, end: 10}, {start: 5, end: 15}, {start: 20, end: 25}}
+	u := unionize(ivs)
+	if len(u) != 2 || u[0].start != 0 || u[0].end != 15 || u[1].start != 20 {
+		t.Fatalf("union = %v", u)
+	}
+	if unionLen(u) != 20 {
+		t.Fatalf("union length = %d", unionLen(u))
+	}
+}
+
+func TestOverlapLen(t *testing.T) {
+	a := []interval{{start: 0, end: 10}, {start: 20, end: 30}}
+	b := []interval{{start: 5, end: 25}}
+	if got := overlapLen(a, b); got != 10 {
+		t.Fatalf("overlap = %d, want 10 (5 in each segment)", got)
+	}
+	if overlapLen(a, nil) != 0 {
+		t.Fatal("overlap with empty should be 0")
+	}
+}
+
+func TestBusyStatsExposedComm(t *testing.T) {
+	ivs := []interval{
+		{start: 0, end: 100},              // compute
+		{start: 50, end: 150, comm: true}, // comm half hidden
+	}
+	comp, comm, exposed := busyStats(ivs)
+	if comp != 100 || comm != 100 {
+		t.Fatalf("comp/comm = %v/%v", comp, comm)
+	}
+	if exposed != 50 {
+		t.Fatalf("exposed = %v, want 50", exposed)
+	}
+}
+
+func TestIterTimeSingleIteration(t *testing.T) {
+	r := &Report{
+		Marks: [][]MarkAt{{
+			{Label: "setup_end", At: 10 * time.Millisecond},
+			{Label: "iter_end", At: 40 * time.Millisecond},
+		}},
+	}
+	if got := r.IterTime(); got != 30*time.Millisecond {
+		t.Fatalf("single-iteration time = %v", got)
+	}
+}
+
+func TestIterEndsTakeSlowestWorker(t *testing.T) {
+	r := &Report{
+		Marks: [][]MarkAt{
+			{{Label: "iter_end", At: 10 * time.Millisecond}, {Label: "iter_end", At: 30 * time.Millisecond}},
+			{{Label: "iter_end", At: 12 * time.Millisecond}, {Label: "iter_end", At: 28 * time.Millisecond}},
+		},
+	}
+	ends := r.IterEnds()
+	if len(ends) != 2 || ends[0] != 12*time.Millisecond || ends[1] != 30*time.Millisecond {
+		t.Fatalf("iter ends = %v", ends)
+	}
+	// Steady-state time uses the gap between boundaries.
+	if got := r.IterTime(); got != 18*time.Millisecond {
+		t.Fatalf("steady iter = %v", got)
+	}
+}

@@ -1,0 +1,632 @@
+// Package sim is Maya's end-to-end discrete-event simulator. It
+// replays an annotated job trace — every device op carries a
+// predicted duration — against a model of hosts, devices and streams,
+// reproducing the execution semantics of the CUDA runtime:
+//
+//   - each worker has a host dispatch queue that issues API calls in
+//     program order, pausing for measured host delays and blocking on
+//     synchronization calls;
+//   - each device executes streams concurrently, each stream FIFO;
+//   - cudaEventRecord/cudaStreamWaitEvent pairs synchronize streams
+//     through a versioned event wait map (Algorithm 3 of the paper);
+//   - NCCL collectives synchronize workers through a network
+//     collective wait map: every participant blocks its stream until
+//     the last one arrives, then all proceed in lockstep for the
+//     predicted on-the-wire duration.
+//
+// Pipeline bubbles, compute/communication overlap and host-bound
+// stretches all emerge from these rules rather than from explicit
+// modeling, which is the point of simulating at CUDA-API granularity.
+//
+// A "physical" mode adds effects Maya's predictor deliberately does
+// not model — per-kernel launch jitter and SM contention between
+// overlapping compute and communication. The synthetic-silicon ground
+// truth runs in that mode, so predicted-vs-actual experiments face
+// the same reality gap the paper's do (§8, SM Contention).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"maya/internal/prand"
+	"maya/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Participants overrides, per collective call, how many workers
+	// the wait map expects. The collator provides this when
+	// deduplicated jobs simulate only unique workers. Nil means every
+	// call waits for all traced participants.
+	Participants map[trace.CollKey]int
+
+	// Physical-mode knobs (ground truth only; zero for prediction).
+
+	// JitterFrac is the relative sigma of deterministic log-normal
+	// noise applied to device op durations.
+	JitterFrac float64
+	// CommContention slows compute kernels that start while a
+	// collective is in flight on the same device, modeling SM
+	// contention between NCCL and compute kernels.
+	CommContention float64
+	// Seed drives the deterministic jitter.
+	Seed uint64
+}
+
+// Run simulates the job and returns its report. It fails if the
+// trace deadlocks (mismatched collectives or waits), which indicates
+// an invalid workload rather than a simulator bug.
+func Run(job *trace.Job, opts Options) (*Report, error) {
+	e := newEngine(job, opts)
+	return e.run()
+}
+
+type eventKey struct {
+	w   int
+	ev  int64
+	ver int
+}
+
+type pendingOp struct {
+	op  *trace.Op
+	enq int64 // host time at enqueue
+}
+
+type streamState struct {
+	w     int
+	id    int64
+	queue []pendingOp
+	head  int
+
+	freeAt     int64
+	running    bool
+	stalledEv  *eventKey
+	stalledCol bool
+	stallStart int64
+
+	// Running-op bookkeeping for SM-contention stretching.
+	curStart  int64
+	curEnd    int64
+	curKernel bool
+	curIval   int
+	epoch     int64
+}
+
+func (st *streamState) drained() bool {
+	return !st.running && st.stalledEv == nil && !st.stalledCol && st.head == len(st.queue)
+}
+
+type hostWait uint8
+
+const (
+	waitNone hostWait = iota
+	waitEvent
+	waitStream
+	waitDevice
+)
+
+type hostState struct {
+	w    int
+	ops  []trace.Op
+	pos  int
+	t    int64
+	done bool
+
+	wait       hostWait
+	waitStream *streamState
+	scheduled  bool
+}
+
+type collGroup struct {
+	arrived  []*streamState
+	arriveAt []int64
+	dur      int64
+	expected int
+}
+
+type interval struct {
+	start, end int64
+	comm       bool
+}
+
+type simEvent struct {
+	t   int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+type streamKey struct {
+	w int
+	s int64
+}
+
+type engine struct {
+	job  *trace.Job
+	opts Options
+
+	pq    eventHeap
+	evSeq int64
+	now   int64
+
+	hosts   []*hostState
+	streams map[streamKey]*streamState
+	// byWorker lists the streams each worker has touched, for
+	// device-wide synchronization and drain checks.
+	byWorker [][]*streamState
+
+	events        map[eventKey]int64
+	evWaitStreams map[eventKey][]*streamState
+	evWaitHosts   map[eventKey][]*hostState
+
+	colls        map[trace.CollKey]*collGroup
+	participants map[trace.CollKey]int
+	// activeColls tracks, per worker, the fired-but-unfinished
+	// collective intervals, for SM-contention overlap queries.
+	activeColls [][]interval
+
+	intervals [][]interval
+	marks     [][]MarkAt
+
+	rng jitterSource
+}
+
+type jitterSource struct {
+	frac float64
+	seed uint64
+}
+
+func (j jitterSource) factor(a, b int64) float64 {
+	if j.frac == 0 {
+		return 1
+	}
+	h := prand.HashInts(j.seed, a, b)
+	z := prand.New(h).NormFloat64()
+	f := 1 + j.frac*z
+	if f < 0.2 {
+		f = 0.2
+	}
+	return f
+}
+
+func newEngine(job *trace.Job, opts Options) *engine {
+	n := len(job.Workers)
+	e := &engine{
+		job:           job,
+		opts:          opts,
+		streams:       make(map[streamKey]*streamState),
+		byWorker:      make([][]*streamState, n),
+		events:        make(map[eventKey]int64),
+		evWaitStreams: make(map[eventKey][]*streamState),
+		evWaitHosts:   make(map[eventKey][]*hostState),
+		colls:         make(map[trace.CollKey]*collGroup),
+		participants:  opts.Participants,
+		activeColls:   make([][]interval, n),
+		intervals:     make([][]interval, n),
+		marks:         make([][]MarkAt, n),
+		rng:           jitterSource{frac: opts.JitterFrac, seed: opts.Seed},
+	}
+	e.hosts = make([]*hostState, n)
+	for i, w := range job.Workers {
+		e.hosts[i] = &hostState{w: i, ops: w.Ops}
+	}
+	if e.participants == nil {
+		e.participants = trace.Participation(job)
+	}
+	return e
+}
+
+func (e *engine) schedule(t int64, fn func()) {
+	e.evSeq++
+	heap.Push(&e.pq, simEvent{t: t, seq: e.evSeq, fn: fn})
+}
+
+func (e *engine) stream(w int, id int64) *streamState {
+	k := streamKey{w, id}
+	st, ok := e.streams[k]
+	if !ok {
+		st = &streamState{w: w, id: id}
+		e.streams[k] = st
+		e.byWorker[w] = append(e.byWorker[w], st)
+	}
+	return st
+}
+
+func (e *engine) run() (*Report, error) {
+	for _, h := range e.hosts {
+		hh := h
+		e.schedule(0, func() { e.runHost(hh) })
+	}
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(simEvent)
+		e.now = ev.t
+		ev.fn()
+	}
+	for _, h := range e.hosts {
+		if !h.done {
+			return nil, fmt.Errorf("sim: deadlock: worker %d blocked at op %d/%d (%s) t=%s",
+				h.w, h.pos, len(h.ops), e.blockReason(h), time.Duration(h.t))
+		}
+	}
+	return e.buildReport(), nil
+}
+
+func (e *engine) blockReason(h *hostState) string {
+	var why string
+	switch h.wait {
+	case waitEvent:
+		why = "cudaEventSynchronize"
+	case waitStream:
+		why = fmt.Sprintf("cudaStreamSynchronize(stream %d)", h.waitStream.id)
+	case waitDevice:
+		why = "cudaDeviceSynchronize"
+	default:
+		why = "host dispatch"
+	}
+	for _, st := range e.byWorker[h.w] {
+		if st.drained() {
+			continue
+		}
+		switch {
+		case st.stalledCol:
+			op := st.queue[st.head].op
+			why += fmt.Sprintf("; stream %d stalled in %s comm=%#x seq=%d (%d/%d joined)",
+				st.id, op.Coll.Op, op.Coll.CommID, op.Coll.Seq,
+				len(e.colls[trace.CollKeyOf(op)].arrived), e.colls[trace.CollKeyOf(op)].expected)
+		case st.stalledEv != nil:
+			why += fmt.Sprintf("; stream %d waiting for event %d v%d", st.id, st.stalledEv.ev, st.stalledEv.ver)
+		case st.running:
+			why += fmt.Sprintf("; stream %d running (%d/%d ops)", st.id, st.head, len(st.queue))
+		default:
+			why += fmt.Sprintf("; stream %d pending %d/%d ops", st.id, st.head, len(st.queue))
+		}
+	}
+	return why
+}
+
+// runHost advances one worker's host thread until it finishes or
+// blocks on a synchronization call.
+func (e *engine) runHost(h *hostState) {
+	h.scheduled = false
+	if h.done {
+		return
+	}
+	for h.pos < len(h.ops) {
+		op := &h.ops[h.pos]
+		switch op.Kind {
+		case trace.KindHostDelay:
+			h.t += int64(op.Dur)
+			h.pos++
+		case trace.KindMalloc, trace.KindFree:
+			h.pos++
+		case trace.KindMark:
+			e.marks[h.w] = append(e.marks[h.w], MarkAt{Label: op.Name, At: time.Duration(h.t)})
+			h.pos++
+		case trace.KindEventSync:
+			if op.EventVer == 0 {
+				h.pos++
+				continue
+			}
+			k := eventKey{h.w, op.Event, op.EventVer}
+			if tc, ok := e.events[k]; ok {
+				h.t = max(h.t, tc)
+				h.pos++
+				continue
+			}
+			h.wait = waitEvent
+			e.evWaitHosts[k] = append(e.evWaitHosts[k], h)
+			return
+		case trace.KindStreamSync:
+			st := e.stream(h.w, op.Stream)
+			if st.drained() {
+				h.t = max(h.t, st.freeAt)
+				h.pos++
+				continue
+			}
+			h.wait = waitStream
+			h.waitStream = st
+			return
+		case trace.KindDeviceSync:
+			if t, ok := e.deviceDrained(h.w); ok {
+				h.t = max(h.t, t)
+				h.pos++
+				continue
+			}
+			h.wait = waitDevice
+			return
+		case trace.KindCollective:
+			if op.Coll.Seq < 0 {
+				// Communicator initialization record: host-side only.
+				h.pos++
+				continue
+			}
+			st := e.stream(h.w, op.Stream)
+			st.queue = append(st.queue, pendingOp{op: op, enq: h.t})
+			h.pos++
+			e.kickStream(st)
+		default:
+			st := e.stream(h.w, op.Stream)
+			st.queue = append(st.queue, pendingOp{op: op, enq: h.t})
+			h.pos++
+			e.kickStream(st)
+		}
+	}
+	h.done = true
+}
+
+// deviceDrained reports whether all streams of worker w are idle and
+// empty, returning the latest completion time.
+func (e *engine) deviceDrained(w int) (int64, bool) {
+	var t int64
+	for _, st := range e.byWorker[w] {
+		if !st.drained() {
+			return 0, false
+		}
+		t = max(t, st.freeAt)
+	}
+	return t, true
+}
+
+// kickStream lets a stream consume queued ops until it starts timed
+// work, stalls, or empties.
+func (e *engine) kickStream(st *streamState) {
+	if st.running || st.stalledEv != nil || st.stalledCol {
+		return
+	}
+	for st.head < len(st.queue) {
+		p := st.queue[st.head]
+		op := p.op
+		start := max(st.freeAt, p.enq)
+		switch op.Kind {
+		case trace.KindEventRecord:
+			st.head++
+			st.freeAt = start
+			e.completeEvent(eventKey{st.w, op.Event, op.EventVer}, start)
+		case trace.KindStreamWait:
+			if op.EventVer == 0 {
+				st.head++
+				continue
+			}
+			k := eventKey{st.w, op.Event, op.EventVer}
+			if tc, ok := e.events[k]; ok {
+				st.head++
+				st.freeAt = max(start, tc)
+				continue
+			}
+			kk := k
+			st.stalledEv = &kk
+			st.stallStart = start
+			e.evWaitStreams[k] = append(e.evWaitStreams[k], st)
+			e.notifyDrain(st.w)
+			return
+		case trace.KindCollective:
+			// The stream stalls until the group completes; the
+			// completion event scheduled by the wait map advances it.
+			st.stalledCol = true
+			st.stallStart = start
+			e.joinCollective(st, op, start)
+			return
+		default:
+			// Timed device work: kernel, memcpy, memset.
+			dur := e.duration(op, st.w)
+			isKernel := op.Kind == trace.KindKernel
+			if isKernel && e.opts.CommContention > 0 {
+				dur += e.contentionExtra(st.w, start, dur)
+			}
+			end := start + dur
+			st.head++
+			st.running = true
+			st.freeAt = end
+			st.curStart, st.curEnd, st.curKernel = start, end, isKernel
+			st.curIval = len(e.intervals[st.w])
+			e.intervals[st.w] = append(e.intervals[st.w], interval{start: start, end: end})
+			epoch := st.epoch
+			e.schedule(end, func() { e.opEnd(st, epoch) })
+			return
+		}
+	}
+	e.notifyDrain(st.w)
+}
+
+// duration applies jitter to an op's annotated time.
+func (e *engine) duration(op *trace.Op, w int) int64 {
+	d := int64(op.Dur)
+	if d < 0 {
+		d = 0
+	}
+	if e.opts.JitterFrac > 0 {
+		d = int64(float64(d) * e.rng.factor(int64(w), int64(op.Seq)))
+	}
+	return d
+}
+
+// opEnd completes a timed op; stale epochs identify completions that
+// were superseded by a contention stretch.
+func (e *engine) opEnd(st *streamState, epoch int64) {
+	if st.epoch != epoch {
+		return
+	}
+	st.running = false
+	e.kickStream(st)
+	e.notifyDrain(st.w)
+}
+
+// contentionExtra returns the added runtime for a kernel on worker w
+// spanning [start, start+dur) given the collectives already in flight.
+func (e *engine) contentionExtra(w int, start, dur int64) int64 {
+	var overlap int64
+	for _, iv := range e.activeColls[w] {
+		lo := max(start, iv.start)
+		hi := min(start+dur, iv.end)
+		if hi > lo {
+			overlap += hi - lo
+		}
+	}
+	return int64(e.opts.CommContention * float64(overlap))
+}
+
+// stretchRunning extends kernels already executing on worker w that
+// overlap a newly fired collective interval — SM contention works in
+// both directions in the physical model.
+func (e *engine) stretchRunning(w int, cs, ce int64) {
+	for _, st := range e.byWorker[w] {
+		if !st.running || !st.curKernel {
+			continue
+		}
+		lo := max(st.curStart, cs)
+		hi := min(st.curEnd, ce)
+		if hi <= lo {
+			continue
+		}
+		extra := int64(e.opts.CommContention * float64(hi-lo))
+		if extra <= 0 {
+			continue
+		}
+		st.epoch++
+		st.curEnd += extra
+		st.freeAt = st.curEnd
+		e.intervals[w][st.curIval].end = st.curEnd
+		epoch := st.epoch
+		end := st.curEnd
+		sst := st
+		e.schedule(end, func() { e.opEnd(sst, epoch) })
+	}
+}
+
+// completeEvent records an event completion and releases its waiters
+// (Algorithm 3, CudaEventWaitMap.ReleaseWaiters).
+func (e *engine) completeEvent(k eventKey, t int64) {
+	e.events[k] = t
+	if ws := e.evWaitStreams[k]; len(ws) > 0 {
+		delete(e.evWaitStreams, k)
+		for _, st := range ws {
+			sst := st
+			resume := max(sst.stallStart, t)
+			sst.stalledEv = nil
+			sst.head++
+			sst.freeAt = max(sst.freeAt, resume)
+			e.schedule(resume, func() { e.kickStream(sst) })
+		}
+	}
+	if hs := e.evWaitHosts[k]; len(hs) > 0 {
+		delete(e.evWaitHosts, k)
+		for _, h := range hs {
+			hh := h
+			resume := max(hh.t, t)
+			hh.wait = waitNone
+			hh.t = resume
+			hh.pos++
+			e.scheduleHost(hh, resume)
+		}
+	}
+}
+
+func (e *engine) scheduleHost(h *hostState, t int64) {
+	if h.scheduled {
+		return
+	}
+	h.scheduled = true
+	e.schedule(t, func() { e.runHost(h) })
+}
+
+// notifyDrain re-checks hosts of worker w that block on stream or
+// device synchronization.
+func (e *engine) notifyDrain(w int) {
+	h := e.hosts[w]
+	switch h.wait {
+	case waitStream:
+		if h.waitStream.drained() {
+			t := max(h.t, h.waitStream.freeAt)
+			h.wait = waitNone
+			h.waitStream = nil
+			h.t = t
+			h.pos++
+			e.scheduleHost(h, t)
+		}
+	case waitDevice:
+		if t, ok := e.deviceDrained(w); ok {
+			t = max(h.t, t)
+			h.wait = waitNone
+			h.t = t
+			h.pos++
+			e.scheduleHost(h, t)
+		}
+	}
+}
+
+// joinCollective implements the NetworkCollectiveWaitMap: the stream
+// registers and stalls; the final participant releases the group.
+func (e *engine) joinCollective(st *streamState, op *trace.Op, arrive int64) {
+	key := trace.CollKeyOf(op)
+	g, ok := e.colls[key]
+	if !ok {
+		exp := e.participants[key]
+		if exp <= 0 {
+			exp = 1
+		}
+		g = &collGroup{expected: exp}
+		e.colls[key] = g
+	}
+	g.arrived = append(g.arrived, st)
+	g.arriveAt = append(g.arriveAt, arrive)
+	g.dur = max(g.dur, int64(op.Dur))
+	if len(g.arrived) < g.expected {
+		return
+	}
+	delete(e.colls, key)
+
+	startAt := g.arriveAt[0]
+	for _, t := range g.arriveAt {
+		startAt = max(startAt, t)
+	}
+	dur := g.dur
+	if e.opts.JitterFrac > 0 {
+		dur = int64(float64(dur) * e.rng.factor(int64(key.Comm), int64(key.Seq)))
+	}
+	end := startAt + dur
+	for _, part := range g.arrived {
+		p := part
+		e.intervals[p.w] = append(e.intervals[p.w], interval{start: startAt, end: end, comm: true})
+		if e.opts.CommContention > 0 {
+			e.activeColls[p.w] = append(e.activeColls[p.w], interval{start: startAt, end: end})
+			e.stretchRunning(p.w, startAt, end)
+		}
+		e.schedule(end, func() {
+			if e.opts.CommContention > 0 {
+				e.dropActiveColl(p.w, startAt, end)
+			}
+			p.stalledCol = false
+			p.head++
+			p.freeAt = max(p.freeAt, end)
+			e.kickStream(p)
+			e.notifyDrain(p.w)
+		})
+	}
+}
+
+// dropActiveColl removes one finished collective interval from the
+// worker's active list.
+func (e *engine) dropActiveColl(w int, cs, ce int64) {
+	list := e.activeColls[w]
+	for i := range list {
+		if list[i].start == cs && list[i].end == ce {
+			list[i] = list[len(list)-1]
+			e.activeColls[w] = list[:len(list)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"maya/internal/trace"
+)
+
+// build constructs a worker trace from a compact op list.
+func worker(rank, world int, ops ...trace.Op) *trace.Worker {
+	w := &trace.Worker{Rank: rank, World: world, Device: "test"}
+	for _, op := range ops {
+		w.Append(op)
+	}
+	return w
+}
+
+func job(t *testing.T, ws ...*trace.Worker) *trace.Job {
+	t.Helper()
+	j, err := trace.NewJob(ws)
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	return j
+}
+
+func kernel(stream int64, dur time.Duration) trace.Op {
+	return trace.Op{Kind: trace.KindKernel, Name: "k", Stream: stream, Dur: dur}
+}
+
+func hostDelay(d time.Duration) trace.Op {
+	return trace.Op{Kind: trace.KindHostDelay, Dur: d}
+}
+
+func coll(stream int64, comm uint64, seq, nranks, rank int, dur time.Duration) trace.Op {
+	return trace.Op{
+		Kind: trace.KindCollective, Name: "ncclAllReduce", Stream: stream, Dur: dur,
+		Coll: &trace.Collective{Op: "ncclAllReduce", CommID: comm, Seq: seq, NRanks: nranks, Rank: rank, Peer: -1},
+	}
+}
+
+func mustRun(t *testing.T, j *trace.Job, opts Options) *Report {
+	t.Helper()
+	r, err := Run(j, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestSequentialKernelsSingleStream(t *testing.T) {
+	w := worker(0, 1,
+		kernel(0, 10*time.Millisecond),
+		kernel(0, 20*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Makespan, 30*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+	if got, want := r.ComputeBusy[0], 30*time.Millisecond; got != want {
+		t.Fatalf("compute busy = %v, want %v", got, want)
+	}
+}
+
+func TestHostDelaySerializesDispatch(t *testing.T) {
+	// 5ms host gap between two 10ms kernels on one stream: the second
+	// kernel is enqueued at 5ms but the stream is busy until 10ms, so
+	// total is 20ms, not 25ms (async dispatch hides host time).
+	w := worker(0, 1,
+		kernel(0, 10*time.Millisecond),
+		hostDelay(5*time.Millisecond),
+		kernel(0, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Makespan, 20*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+
+	// If the host gap exceeds the first kernel, the gap is exposed.
+	w2 := worker(0, 1,
+		kernel(0, 10*time.Millisecond),
+		hostDelay(15*time.Millisecond),
+		kernel(0, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r2 := mustRun(t, job(t, w2), Options{})
+	if got, want := r2.Makespan, 25*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestStreamsRunConcurrently(t *testing.T) {
+	w := worker(0, 1,
+		kernel(1, 10*time.Millisecond),
+		kernel(2, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Makespan, 10*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v (streams should overlap)", got, want)
+	}
+	// Union of overlapping intervals counts once.
+	if got, want := r.ComputeBusy[0], 10*time.Millisecond; got != want {
+		t.Fatalf("compute busy = %v, want %v", got, want)
+	}
+}
+
+func TestEventSynchronizationAcrossStreams(t *testing.T) {
+	// Stream 1 runs a 10ms kernel then records event (id=7, ver=1).
+	// Stream 2 waits on the event before its 5ms kernel. Total 15ms.
+	w := worker(0, 1,
+		kernel(1, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindEventRecord, Stream: 1, Event: 7, EventVer: 1},
+		trace.Op{Kind: trace.KindStreamWait, Stream: 2, Event: 7, EventVer: 1},
+		kernel(2, 5*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Makespan, 15*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestWaitOnUnrecordedEventIsNoOp(t *testing.T) {
+	w := worker(0, 1,
+		trace.Op{Kind: trace.KindStreamWait, Stream: 1, Event: 9, EventVer: 0},
+		kernel(1, 5*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Makespan, 5*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestEventVersioningBindsToRecordAtWaitTime(t *testing.T) {
+	// Event 3 recorded twice. A wait that saw version 1 must not wait
+	// for version 2's later completion.
+	w := worker(0, 1,
+		kernel(1, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindEventRecord, Stream: 1, Event: 3, EventVer: 1},
+		trace.Op{Kind: trace.KindStreamWait, Stream: 2, Event: 3, EventVer: 1},
+		kernel(2, 1*time.Millisecond), // ends at 11ms
+		kernel(1, 30*time.Millisecond),
+		trace.Op{Kind: trace.KindEventRecord, Stream: 1, Event: 3, EventVer: 2},
+		trace.Op{Kind: trace.KindStreamSync, Stream: 2},
+		trace.Op{Kind: trace.KindMark, Name: "stream2_done"},
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	var s2done time.Duration
+	for _, m := range r.Marks[0] {
+		if m.Label == "stream2_done" {
+			s2done = m.At
+		}
+	}
+	if got, want := s2done, 11*time.Millisecond; got != want {
+		t.Fatalf("stream2 finished at %v, want %v", got, want)
+	}
+	if got, want := r.Makespan, 40*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestEventSyncBlocksHost(t *testing.T) {
+	w := worker(0, 1,
+		kernel(1, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindEventRecord, Stream: 1, Event: 5, EventVer: 1},
+		trace.Op{Kind: trace.KindEventSync, Event: 5, EventVer: 1},
+		trace.Op{Kind: trace.KindMark, Name: "after_sync"},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Marks[0][0].At, 10*time.Millisecond; got != want {
+		t.Fatalf("host resumed at %v, want %v", got, want)
+	}
+}
+
+func TestCollectiveLockstep(t *testing.T) {
+	// Two workers: rank 1 arrives at the all-reduce 30ms late, so both
+	// finish at 30+20=50ms. Rank 0's wait (the pipeline-bubble effect)
+	// emerges from the wait map.
+	w0 := worker(0, 2,
+		kernel(0, 10*time.Millisecond),
+		coll(0, 42, 0, 2, 0, 20*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	w1 := worker(1, 2,
+		kernel(0, 30*time.Millisecond),
+		coll(0, 42, 0, 2, 1, 20*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w0, w1), Options{})
+	for i, end := range r.HostEnd {
+		if end != 50*time.Millisecond {
+			t.Fatalf("worker %d end = %v, want 50ms", i, end)
+		}
+	}
+	if got, want := r.CommBusy[0], 20*time.Millisecond; got != want {
+		t.Fatalf("comm busy = %v, want %v", got, want)
+	}
+}
+
+func TestComputeCommOverlapOnSeparateStreams(t *testing.T) {
+	// Collective on stream 2 overlaps compute on stream 1.
+	mk := func(rank int) *trace.Worker {
+		return worker(rank, 2,
+			coll(2, 7, 0, 2, rank, 20*time.Millisecond),
+			kernel(1, 20*time.Millisecond),
+			trace.Op{Kind: trace.KindDeviceSync},
+		)
+	}
+	r := mustRun(t, job(t, mk(0), mk(1)), Options{})
+	if got, want := r.Makespan, 20*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v (overlap)", got, want)
+	}
+	if got := r.ExposedComm[0]; got != 0 {
+		t.Fatalf("exposed comm = %v, want 0 (fully hidden)", got)
+	}
+}
+
+func TestSendRecvPairing(t *testing.T) {
+	// Rank 0 sends to rank 1 after 10ms of compute; rank 1 recvs then
+	// computes 5ms. Xfer takes 3ms: total 18ms.
+	w0 := worker(0, 2,
+		kernel(0, 10*time.Millisecond),
+		trace.Op{Kind: trace.KindCollective, Name: "ncclSend", Stream: 0, Dur: 3 * time.Millisecond,
+			Coll: &trace.Collective{Op: "ncclSend", CommID: 9, Seq: 0, NRanks: 2, Rank: 0, Peer: 1, Bytes: 1 << 20}},
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	w1 := worker(1, 2,
+		trace.Op{Kind: trace.KindCollective, Name: "ncclRecv", Stream: 0, Dur: 3 * time.Millisecond,
+			Coll: &trace.Collective{Op: "ncclRecv", CommID: 9, Seq: 0, NRanks: 2, Rank: 1, Peer: 0, Bytes: 1 << 20}},
+		kernel(0, 5*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w0, w1), Options{Participants: map[trace.CollKey]int{
+		{Comm: 9, P2P: true, Src: 0, Dst: 1, Seq: 0}: 2,
+	}})
+	if got, want := r.HostEnd[1], 18*time.Millisecond; got != want {
+		t.Fatalf("receiver end = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// A collective expecting 2 participants that only one worker joins
+	// must be reported as a deadlock, not hang.
+	w0 := worker(0, 2, coll(0, 1, 0, 2, 0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
+	w1 := worker(1, 2, kernel(0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
+	j := job(t, w0, w1)
+	_, err := Run(j, Options{Participants: map[trace.CollKey]int{
+		{Comm: 1, Seq: 0}: 2,
+	}})
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestDedupParticipantsOverride(t *testing.T) {
+	// With deduplication only one of two DP replicas is simulated; the
+	// collective must fire with a single participant.
+	w0 := worker(0, 2,
+		kernel(0, 10*time.Millisecond),
+		coll(0, 5, 0, 2, 0, 20*time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w0), Options{})
+	if got, want := r.Makespan, 30*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestIterationTimeFromMarks(t *testing.T) {
+	var ops []trace.Op
+	ops = append(ops, trace.Op{Kind: trace.KindMark, Name: trace.MarkSetupEnd})
+	for i := 0; i < 3; i++ {
+		ops = append(ops,
+			kernel(0, 10*time.Millisecond),
+			trace.Op{Kind: trace.KindDeviceSync},
+			trace.Op{Kind: trace.KindMark, Name: trace.MarkIterEnd},
+		)
+	}
+	w := worker(0, 1, ops...)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.IterTime(), 10*time.Millisecond; got != want {
+		t.Fatalf("iter time = %v, want %v", got, want)
+	}
+	if got := len(r.IterEnds()); got != 3 {
+		t.Fatalf("iter ends = %d, want 3", got)
+	}
+}
+
+func TestPhysicalModeJitterIsDeterministic(t *testing.T) {
+	mk := func() *trace.Job {
+		return job(t, worker(0, 1,
+			kernel(0, 10*time.Millisecond),
+			kernel(0, 10*time.Millisecond),
+			trace.Op{Kind: trace.KindDeviceSync},
+		))
+	}
+	opts := Options{JitterFrac: 0.05, Seed: 1234}
+	r1 := mustRun(t, mk(), opts)
+	r2 := mustRun(t, mk(), opts)
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("jitter not deterministic: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+	if r1.Makespan == 20*time.Millisecond {
+		t.Fatalf("jitter had no effect: %v", r1.Makespan)
+	}
+	r3 := mustRun(t, mk(), Options{JitterFrac: 0.05, Seed: 99})
+	if r3.Makespan == r1.Makespan {
+		t.Fatalf("different seeds produced identical jitter")
+	}
+}
+
+func TestContentionStretchesOverlappedCompute(t *testing.T) {
+	mk := func(rank int) *trace.Worker {
+		return worker(rank, 2,
+			coll(2, 7, 0, 2, rank, 20*time.Millisecond),
+			kernel(1, 10*time.Millisecond),
+			trace.Op{Kind: trace.KindDeviceSync},
+		)
+	}
+	r := mustRun(t, job(t, mk(0), mk(1)), Options{CommContention: 0.5})
+	// Kernel starts while the collective is in flight: 10ms * 1.5.
+	if got, want := r.ComputeBusy[0], 15*time.Millisecond; got != want {
+		t.Fatalf("compute busy = %v, want %v", got, want)
+	}
+}
+
+func TestStreamSyncBlocksOnlyThatStream(t *testing.T) {
+	w := worker(0, 1,
+		kernel(1, 10*time.Millisecond),
+		kernel(2, 50*time.Millisecond),
+		trace.Op{Kind: trace.KindStreamSync, Stream: 1},
+		trace.Op{Kind: trace.KindMark, Name: "s1_done"},
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	r := mustRun(t, job(t, w), Options{})
+	if got, want := r.Marks[0][0].At, 10*time.Millisecond; got != want {
+		t.Fatalf("stream sync returned at %v, want %v", got, want)
+	}
+	if got, want := r.Makespan, 50*time.Millisecond; got != want {
+		t.Fatalf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineBubbleEmergesFromP2P(t *testing.T) {
+	// Two pipeline stages, 2 microbatches, no overlap: stage 1 idles
+	// until the first activation arrives. Forward-only toy pipeline.
+	const f = 10 * time.Millisecond
+	xfer := time.Millisecond
+	send := func(seq int) trace.Op {
+		return trace.Op{Kind: trace.KindCollective, Name: "ncclSend", Stream: 0, Dur: xfer,
+			Coll: &trace.Collective{Op: "ncclSend", CommID: 3, Seq: seq, NRanks: 2, Rank: 0, Peer: 1, Bytes: 1024}}
+	}
+	recv := func(seq int) trace.Op {
+		return trace.Op{Kind: trace.KindCollective, Name: "ncclRecv", Stream: 0, Dur: xfer,
+			Coll: &trace.Collective{Op: "ncclRecv", CommID: 3, Seq: seq, NRanks: 2, Rank: 1, Peer: 0, Bytes: 1024}}
+	}
+	w0 := worker(0, 2, kernel(0, f), send(0), kernel(0, f), send(1), trace.Op{Kind: trace.KindDeviceSync})
+	w1 := worker(1, 2, recv(0), kernel(0, f), recv(1), kernel(0, f), trace.Op{Kind: trace.KindDeviceSync})
+	r := mustRun(t, job(t, w0, w1), Options{})
+	// Stage 1 finishes mb0 at 10+1+10=21ms, recv mb1 ready at 21ms
+	// (sent at 21ms... rank0: f ends 10, send 10-11, f ends 21, send 21-22).
+	// Stage 1: recv0 done 11, k ends 21, recv1 at max(21,22)=22, k ends 32.
+	if got, want := r.HostEnd[1], 32*time.Millisecond; got != want {
+		t.Fatalf("stage-1 end = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,304 @@
+// Package trace defines Maya's execution-trace model: the sequence of
+// device-API operations each worker performed during emulation, and
+// the merged job-level view the simulator consumes.
+//
+// A trace is the contract between every stage of the pipeline. The
+// emulator produces per-worker traces; the collator merges and
+// deduplicates them; the estimator annotates kernel durations; the
+// simulator replays the result. Traces serialize to JSON so they can
+// be inspected, diffed and archived, matching the paper's example
+// `{"events":[{"dev":"gpu0-stream0","op":"cublasSgemm_v2"}, ...]}`.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Kind discriminates trace operations.
+type Kind uint8
+
+// Operation kinds captured by the emulator.
+const (
+	KindKernel      Kind = iota // compute kernel launch
+	KindMemcpy                  // cudaMemcpyAsync
+	KindMemset                  // cudaMemsetAsync
+	KindMalloc                  // cudaMalloc
+	KindFree                    // cudaFree
+	KindEventRecord             // cudaEventRecord
+	KindStreamWait              // cudaStreamWaitEvent
+	KindEventSync               // cudaEventSynchronize (host blocks)
+	KindStreamSync              // cudaStreamSynchronize (host blocks)
+	KindDeviceSync              // cudaDeviceSynchronize (host blocks)
+	KindCollective              // NCCL collective or P2P operation
+	KindHostDelay               // CPU time between API calls
+	KindMark                    // iteration / phase boundary marker
+)
+
+var kindNames = [...]string{
+	"kernel", "memcpy", "memset", "malloc", "free",
+	"eventRecord", "streamWaitEvent", "eventSync", "streamSync",
+	"deviceSync", "collective", "hostDelay", "mark",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes kinds by name for readable traces.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown op kind %q", s)
+}
+
+// Collective carries the distributed-dependency metadata of a NCCL
+// operation. CommID plus Seq is the global matching key the collator
+// and the simulator's collective wait map use.
+type Collective struct {
+	Op     string `json:"op"`     // "ncclAllReduce", "ncclSend", ...
+	CommID uint64 `json:"comm"`   // communicator identity (global)
+	Seq    int    `json:"seq"`    // per-communicator call index
+	NRanks int    `json:"nranks"` // participants in the communicator
+	Rank   int    `json:"rank"`   // caller's rank within the communicator
+	Peer   int    `json:"peer"`   // peer rank for send/recv, -1 otherwise
+	Bytes  int64  `json:"bytes"`  // payload size
+}
+
+// Op is one traced device-API operation.
+type Op struct {
+	Seq    int    `json:"seq"`              // per-worker sequence number
+	Kind   Kind   `json:"kind"`             // discriminator
+	Stream int64  `json:"stream,omitempty"` // issuing stream handle
+	Name   string `json:"name,omitempty"`   // kernel or API name
+
+	// Kernel metadata captured by the emulator (shapes, not values).
+	Dims  []int              `json:"dims,omitempty"`
+	Bytes int64              `json:"bytes,omitempty"`
+	FLOPs int64              `json:"flops,omitempty"`
+	DType string             `json:"dtype,omitempty"`
+	Extra map[string]float64 `json:"extra,omitempty"` // e.g. Triton instruction counts
+
+	// Memory-op metadata.
+	MemKind string `json:"memKind,omitempty"` // "HtoD", "DtoH", "DtoD", "HtoH"
+	Ptr     uint64 `json:"ptr,omitempty"`
+
+	// Event metadata. EventVer is the record-count of the event at the
+	// time of the call; stream waits capture the version they saw.
+	Event    int64 `json:"event,omitempty"`
+	EventVer int   `json:"eventVer,omitempty"`
+
+	Coll *Collective `json:"coll,omitempty"`
+
+	// Dur is the operation's duration: host time for KindHostDelay
+	// (measured during emulation), predicted device time after the
+	// estimation phase, and ground-truth device time in silicon
+	// traces. Zero for ops that are instantaneous in the model.
+	Dur time.Duration `json:"dur,omitempty"`
+}
+
+// IsDeviceWork reports whether the op occupies a device stream for a
+// non-zero duration and therefore needs a runtime estimate.
+func (o *Op) IsDeviceWork() bool {
+	switch o.Kind {
+	case KindKernel, KindMemcpy, KindMemset, KindCollective:
+		return true
+	}
+	return false
+}
+
+// SigString returns a stable signature of the op's identity used for
+// worker deduplication: everything that defines the computation, but
+// not measured host durations.
+func (o *Op) SigString() string {
+	switch o.Kind {
+	case KindHostDelay:
+		return "h"
+	case KindCollective:
+		c := o.Coll
+		return fmt.Sprintf("c|%s|%d|%d|%d", c.Op, c.Bytes, c.NRanks, o.Stream)
+	default:
+		return fmt.Sprintf("%d|%s|%v|%d|%d|%s|%d", o.Kind, o.Name, o.Dims, o.Bytes, o.FLOPs, o.DType, o.Stream)
+	}
+}
+
+// Worker is the trace of one emulated rank.
+type Worker struct {
+	Rank      int    `json:"rank"`
+	Device    string `json:"device"` // GPU model name
+	World     int    `json:"world"`  // total ranks in the job
+	Ops       []Op   `json:"ops"`
+	PeakBytes int64  `json:"peakBytes"`       // allocator high-water mark
+	OOM       bool   `json:"oom,omitempty"`   // allocation exceeded capacity
+	Dedup     int    `json:"dedup,omitempty"` // rank this trace was cloned from (when reconstructed)
+}
+
+// Append adds an op, assigning its per-worker sequence number.
+func (w *Worker) Append(op Op) {
+	op.Seq = len(w.Ops)
+	w.Ops = append(w.Ops, op)
+}
+
+// Clone deep-copies the worker trace, remapping it to a new rank.
+// Collective rank fields inside communicators are remapped by the
+// caller (the collator knows the group layouts).
+func (w *Worker) Clone(newRank int) *Worker {
+	c := &Worker{
+		Rank:      newRank,
+		Device:    w.Device,
+		World:     w.World,
+		PeakBytes: w.PeakBytes,
+		OOM:       w.OOM,
+		Dedup:     w.Rank,
+		Ops:       make([]Op, len(w.Ops)),
+	}
+	copy(c.Ops, w.Ops)
+	for i := range c.Ops {
+		if c.Ops[i].Coll != nil {
+			cc := *c.Ops[i].Coll
+			c.Ops[i].Coll = &cc
+		}
+		if c.Ops[i].Dims != nil {
+			d := make([]int, len(c.Ops[i].Dims))
+			copy(d, c.Ops[i].Dims)
+			c.Ops[i].Dims = d
+		}
+		if c.Ops[i].Extra != nil {
+			m := make(map[string]float64, len(c.Ops[i].Extra))
+			for k, v := range c.Ops[i].Extra {
+				m[k] = v
+			}
+			c.Ops[i].Extra = m
+		}
+	}
+	return c
+}
+
+// Stats summarizes a worker trace.
+type Stats struct {
+	Ops         int
+	Kernels     int
+	Collectives int
+	Memcpys     int
+	Syncs       int
+	HostTime    time.Duration
+	ByName      map[string]int
+}
+
+// Stats computes summary statistics over the trace.
+func (w *Worker) Stats() Stats {
+	s := Stats{ByName: make(map[string]int)}
+	for i := range w.Ops {
+		op := &w.Ops[i]
+		s.Ops++
+		switch op.Kind {
+		case KindKernel:
+			s.Kernels++
+			s.ByName[op.Name]++
+		case KindCollective:
+			s.Collectives++
+			s.ByName[op.Coll.Op]++
+		case KindMemcpy:
+			s.Memcpys++
+			s.ByName["Memcpy"+op.MemKind]++
+		case KindEventSync, KindStreamSync, KindDeviceSync, KindStreamWait:
+			s.Syncs++
+		case KindHostDelay:
+			s.HostTime += op.Dur
+		}
+	}
+	return s
+}
+
+// Job is the collated, job-level trace: one worker entry per rank.
+type Job struct {
+	Workers []*Worker `json:"workers"`
+	// UniqueRanks lists the ranks that were actually emulated when
+	// deduplication reconstructed the rest; empty means all were.
+	UniqueRanks []int `json:"uniqueRanks,omitempty"`
+}
+
+// NewJob builds a job trace, sorting workers by rank. Ranks need not
+// be dense — deduplicated and selectively launched jobs carry only
+// their unique workers — but they must not repeat.
+func NewJob(workers []*Worker) (*Job, error) {
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Rank < workers[j].Rank })
+	for i := 1; i < len(workers); i++ {
+		if workers[i].Rank == workers[i-1].Rank {
+			return nil, fmt.Errorf("trace: duplicate worker rank %d", workers[i].Rank)
+		}
+	}
+	return &Job{Workers: workers}, nil
+}
+
+// NRanks returns the number of workers in the job.
+func (j *Job) NRanks() int { return len(j.Workers) }
+
+// OOM reports whether any worker exceeded device memory.
+func (j *Job) OOM() bool {
+	for _, w := range j.Workers {
+		if w.OOM {
+			return true
+		}
+	}
+	return false
+}
+
+// PeakBytes returns the maximum allocator high-water mark across
+// workers.
+func (j *Job) PeakBytes() int64 {
+	var p int64
+	for _, w := range j.Workers {
+		if w.PeakBytes > p {
+			p = w.PeakBytes
+		}
+	}
+	return p
+}
+
+// Clone deep-copies the job so one copy can be annotated with
+// predictions while another holds ground truth.
+func (j *Job) Clone() *Job {
+	c := &Job{UniqueRanks: append([]int(nil), j.UniqueRanks...)}
+	c.Workers = make([]*Worker, len(j.Workers))
+	for i, w := range j.Workers {
+		cw := w.Clone(w.Rank)
+		cw.Dedup = w.Dedup
+		c.Workers[i] = cw
+	}
+	return c
+}
+
+// WriteJSON streams the job trace as indented JSON.
+func (j *Job) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(j)
+}
+
+// ReadJSON parses a job trace produced by WriteJSON.
+func ReadJSON(r io.Reader) (*Job, error) {
+	var j Job
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("trace: decoding job: %w", err)
+	}
+	return &j, nil
+}

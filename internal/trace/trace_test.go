@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleWorker(rank int) *Worker {
+	w := &Worker{Rank: rank, World: 4, Device: "H100"}
+	w.Append(Op{Kind: KindHostDelay, Dur: 5 * time.Microsecond})
+	w.Append(Op{Kind: KindKernel, Name: "cublasGemmEx", Stream: 0,
+		Dims: []int{1, 128, 128, 128}, FLOPs: 2 * 128 * 128 * 128, Bytes: 3 * 2 * 128 * 128, DType: "bf16"})
+	w.Append(Op{Kind: KindCollective, Name: "ncclAllReduce", Stream: 1, Bytes: 1 << 20,
+		Coll: &Collective{Op: "ncclAllReduce", CommID: 0xBEEF, Seq: 0, NRanks: 4, Rank: rank, Peer: -1, Bytes: 1 << 20}})
+	w.Append(Op{Kind: KindEventRecord, Stream: 1, Event: 3, EventVer: 1})
+	w.Append(Op{Kind: KindMark, Name: MarkIterEnd})
+	return w
+}
+
+func TestAppendAssignsSequence(t *testing.T) {
+	w := sampleWorker(0)
+	for i, op := range w.Ops {
+		if op.Seq != i {
+			t.Fatalf("op %d has seq %d", i, op.Seq)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	j, err := NewJob([]*Worker{sampleWorker(0), sampleWorker(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := j.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", j.Workers[0].Ops[1], back.Workers[0].Ops[1])
+	}
+}
+
+func TestKindJSONNames(t *testing.T) {
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"collective"`)); err != nil {
+		t.Fatal(err)
+	}
+	if k != KindCollective {
+		t.Fatalf("got %v", k)
+	}
+	if err := k.UnmarshalJSON([]byte(`"nonsense"`)); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestNewJobRejectsDuplicateRanks(t *testing.T) {
+	_, err := NewJob([]*Worker{sampleWorker(1), sampleWorker(1)})
+	if err == nil {
+		t.Fatal("expected duplicate-rank error")
+	}
+}
+
+func TestNewJobAllowsSparseRanks(t *testing.T) {
+	j, err := NewJob([]*Worker{sampleWorker(4), sampleWorker(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Workers[0].Rank != 0 || j.Workers[1].Rank != 4 {
+		t.Fatalf("workers not sorted: %d, %d", j.Workers[0].Rank, j.Workers[1].Rank)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	w := sampleWorker(0)
+	c := w.Clone(2)
+	if c.Rank != 2 || c.Dedup != 0 {
+		t.Fatalf("clone rank/dedup = %d/%d", c.Rank, c.Dedup)
+	}
+	c.Ops[1].Dims[0] = 999
+	c.Ops[2].Coll.Bytes = 7
+	if w.Ops[1].Dims[0] == 999 {
+		t.Fatal("clone shares Dims slice")
+	}
+	if w.Ops[2].Coll.Bytes == 7 {
+		t.Fatal("clone shares Collective pointer")
+	}
+}
+
+func TestJobCloneIndependent(t *testing.T) {
+	j, err := NewJob([]*Worker{sampleWorker(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := j.Clone()
+	c.Workers[0].Ops[1].Dur = time.Hour
+	if j.Workers[0].Ops[1].Dur == time.Hour {
+		t.Fatal("job clone shares ops")
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := sampleWorker(0).Stats()
+	if st.Kernels != 1 || st.Collectives != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HostTime != 5*time.Microsecond {
+		t.Fatalf("host time = %v", st.HostTime)
+	}
+	if st.ByName["cublasGemmEx"] != 1 {
+		t.Fatalf("byName = %v", st.ByName)
+	}
+}
+
+func TestCollKeyMatchesSendRecvPairs(t *testing.T) {
+	send := &Op{Kind: KindCollective, Coll: &Collective{Op: "ncclSend", CommID: 9, Seq: 3, NRanks: 4, Rank: 1, Peer: 2}}
+	recv := &Op{Kind: KindCollective, Coll: &Collective{Op: "ncclRecv", CommID: 9, Seq: 3, NRanks: 4, Rank: 2, Peer: 1}}
+	if CollKeyOf(send) != CollKeyOf(recv) {
+		t.Fatalf("send/recv keys differ: %+v vs %+v", CollKeyOf(send), CollKeyOf(recv))
+	}
+	reversed := &Op{Kind: KindCollective, Coll: &Collective{Op: "ncclSend", CommID: 9, Seq: 3, NRanks: 4, Rank: 2, Peer: 1}}
+	if CollKeyOf(send) == CollKeyOf(reversed) {
+		t.Fatal("opposite-direction sends must not match")
+	}
+}
+
+func TestParticipationCounts(t *testing.T) {
+	j, err := NewJob([]*Worker{sampleWorker(0), sampleWorker(1), sampleWorker(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := Participation(j)
+	key := CollKey{Comm: 0xBEEF, Seq: 0}
+	if parts[key] != 3 {
+		t.Fatalf("participation = %d, want 3 (present workers)", parts[key])
+	}
+}
+
+func TestExpandRanksProperties(t *testing.T) {
+	// Property: the expansion always returns `size` ranks, starts at
+	// the first known rank, and preserves a uniform stride.
+	if err := quick.Check(func(firstRaw, strideRaw, sizeRaw uint8) bool {
+		size := int(sizeRaw%8) + 2
+		stride := int(strideRaw%4) + 1
+		world := size * stride * 2
+		first := int(firstRaw) % stride
+		known := []int{first, first + stride}
+		out := ExpandRanks(known, size, world)
+		if len(out) != size {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if (out[i]-out[i-1]+world)%world != stride {
+				return false
+			}
+		}
+		return out[0] == first
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigStringIgnoresCommIdentity(t *testing.T) {
+	a := &Op{Kind: KindCollective, Coll: &Collective{Op: "ncclAllReduce", CommID: 1, Seq: 5, NRanks: 4, Rank: 0, Bytes: 100}}
+	b := &Op{Kind: KindCollective, Coll: &Collective{Op: "ncclAllReduce", CommID: 2, Seq: 9, NRanks: 4, Rank: 3, Bytes: 100}}
+	if a.SigString() != b.SigString() {
+		t.Fatal("duplicate workers on different communicators must hash equal")
+	}
+	c := &Op{Kind: KindCollective, Coll: &Collective{Op: "ncclAllReduce", CommID: 1, Seq: 5, NRanks: 8, Rank: 0, Bytes: 100}}
+	if a.SigString() == c.SigString() {
+		t.Fatal("different group sizes must hash differently")
+	}
+}

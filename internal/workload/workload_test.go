@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"maya/internal/cuda"
+)
+
+type fakeDevice struct {
+	cuda.Device // nil embedding: only Mark is called
+	marks       []string
+}
+
+func (f *fakeDevice) Mark(label string) error {
+	f.marks = append(f.marks, label)
+	return nil
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := -1
+	w := Func{
+		JobName: "demo",
+		Ranks:   4,
+		Body: func(rank int, dev cuda.Device) error {
+			called = rank
+			return dev.Mark("ran")
+		},
+	}
+	if w.Name() != "demo" || w.World() != 4 {
+		t.Fatalf("adapter metadata: %s/%d", w.Name(), w.World())
+	}
+	d := &fakeDevice{}
+	if err := w.Run(2, d); err != nil {
+		t.Fatal(err)
+	}
+	if called != 2 || len(d.marks) != 1 {
+		t.Fatalf("body not invoked correctly: rank %d marks %v", called, d.marks)
+	}
+}
+
+func TestFuncErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	w := Func{JobName: "e", Ranks: 1, Body: func(int, cuda.Device) error { return boom }}
+	if err := w.Run(0, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package maya is a performance-modeling system for distributed
+// deep-learning training: it predicts the end-to-end runtime, memory
+// footprint and hardware utilization of unmodified training workloads
+// on GPU clusters the user does not have — by transparently emulating
+// the accelerator device API underneath the training program, then
+// simulating the captured execution trace.
+//
+// This is the public facade over the full pipeline (device emulation,
+// trace collation, learned kernel-runtime estimation, discrete-event
+// cluster simulation) plus Maya-Search, the configuration-search
+// system built on top. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quickstart:
+//
+//	cluster := maya.ClusterByName("32xH100")
+//	pred, _ := maya.NewPredictor(cluster, maya.ProfileLLM)
+//	w, _ := maya.NewMegatron(maya.MegatronConfig{ ... })
+//	report, _ := pred.Predict(w, flops, maya.BF16)
+//	fmt.Println(report.IterTime, report.MFU)
+package maya
+
+import (
+	"fmt"
+
+	"maya/internal/core"
+	"maya/internal/estimator"
+	"maya/internal/framework"
+	"maya/internal/hardware"
+	"maya/internal/models"
+	"maya/internal/netsim"
+	"maya/internal/silicon"
+	"maya/internal/workload"
+)
+
+// Re-exported core types. These aliases are the stable public API;
+// the internal packages they point at are implementation detail.
+type (
+	// Cluster describes the target hardware.
+	Cluster = hardware.Cluster
+	// GPU describes one accelerator.
+	GPU = hardware.GPU
+	// DType is a numeric element type.
+	DType = hardware.DType
+	// Workload is an unmodified training program.
+	Workload = workload.Workload
+	// Report is a prediction or measurement result.
+	Report = core.Report
+	// StageTimings breaks down pipeline wall-clock per stage.
+	StageTimings = core.StageTimings
+	// MegatronConfig is a Megatron-LM style training recipe.
+	MegatronConfig = framework.MegatronConfig
+	// DataParallelConfig is a DDP/ZeRO/FSDP training job.
+	DataParallelConfig = framework.DataParallelConfig
+	// Transformer is a transformer architecture description.
+	Transformer = models.Transformer
+	// CNN is a convolutional architecture description.
+	CNN = models.CNN
+	// DPStrategy selects the data-parallel training stack.
+	DPStrategy = framework.DPStrategy
+)
+
+// Data types.
+const (
+	FP32 = hardware.FP32
+	FP16 = hardware.FP16
+	BF16 = hardware.BF16
+)
+
+// Data-parallel strategies.
+const (
+	DDP   = framework.DDP
+	ZeRO1 = framework.ZeRO1
+	ZeRO2 = framework.ZeRO2
+	ZeRO3 = framework.ZeRO3
+	FSDP  = framework.FSDP
+)
+
+// ProfileKind selects which kernel families the predictor's
+// estimators are trained on.
+type ProfileKind = estimator.ProfileKind
+
+// Profile kinds.
+const (
+	ProfileLLM    = estimator.ProfileLLM
+	ProfileVision = estimator.ProfileVision
+	ProfileAll    = estimator.ProfileAll
+)
+
+// Cluster constructors.
+var (
+	// DGXH100 builds an H100 cluster with the given node count.
+	DGXH100 = hardware.DGXH100
+	// DGXV100 builds a V100 cluster with the given node count.
+	DGXV100 = hardware.DGXV100
+	// A40Node builds the single 8xA40 node.
+	A40Node = hardware.A40Node
+)
+
+// ClusterByName parses a cluster spec such as "64xH100".
+func ClusterByName(spec string) (Cluster, error) { return hardware.ByName(spec) }
+
+// NewMegatron builds a Megatron-LM style workload from a recipe.
+func NewMegatron(cfg MegatronConfig) (Workload, error) { return framework.NewMegatron(cfg) }
+
+// NewDataParallel builds a DDP/ZeRO/FSDP workload.
+func NewDataParallel(cfg DataParallelConfig) (Workload, error) {
+	return framework.NewDataParallel(cfg)
+}
+
+// Model presets.
+var (
+	GPT3_1_3B   = models.GPT3_1_3B
+	GPT3_2_7B   = models.GPT3_2_7B
+	GPT3_18_4B  = models.GPT3_18_4B
+	GPT3_145_6B = models.GPT3_145_6B
+	Llama2_7B   = models.Llama2_7B
+	BERTLarge   = models.BERTLarge
+	ResNet152   = models.ResNet152
+)
+
+// Predictor predicts workload performance on one cluster. It is safe
+// for concurrent use.
+type Predictor struct {
+	pipeline *core.Pipeline
+	oracle   *silicon.Oracle
+}
+
+// PredictorOption customizes construction.
+type PredictorOption func(*core.Options)
+
+// WithoutDedup disables worker deduplication (every rank is emulated
+// and simulated).
+func WithoutDedup() PredictorOption {
+	return func(o *core.Options) { o.NoDedup = true }
+}
+
+// WithValidation enables cross-worker collective consistency checks.
+func WithValidation() PredictorOption {
+	return func(o *core.Options) { o.Validate = true }
+}
+
+// NewPredictor trains (or reuses cached) kernel estimators for the
+// cluster and returns a ready predictor. The first call per cluster
+// profiles microbenchmarks and trains the random forests; subsequent
+// calls reuse them.
+func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*Predictor, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	oracle := core.DefaultOracle(cluster)
+	suite, _, err := core.SuiteFor(cluster, oracle, kind)
+	if err != nil {
+		return nil, fmt.Errorf("maya: training estimators: %w", err)
+	}
+	o := core.Options{SelectiveLaunch: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Predictor{
+		pipeline: &core.Pipeline{Cluster: cluster, Suite: suite, Opts: o},
+		oracle:   oracle,
+	}, nil
+}
+
+// WithNetworkSimulator returns a predictor whose collective times
+// come from the built-in hierarchical network simulator instead of
+// profiled curves — required beyond profiled cluster scales.
+func (p *Predictor) WithNetworkSimulator() *Predictor {
+	return &Predictor{
+		pipeline: &core.Pipeline{
+			Cluster: p.pipeline.Cluster,
+			Suite:   p.pipeline.Suite.WithCollectiveEstimator(netsim.New(p.pipeline.Cluster)),
+			Opts:    p.pipeline.Opts,
+		},
+		oracle: p.oracle,
+	}
+}
+
+// Predict runs the full Maya pipeline for the workload. modelFLOPs is
+// the per-iteration model FLOP count used for MFU (0 skips MFU);
+// dtype is the training precision whose peak throughput MFU is
+// normalized by.
+func (p *Predictor) Predict(w Workload, modelFLOPs float64, dtype DType) (*Report, error) {
+	return p.pipeline.Predict(w, modelFLOPs, dtype)
+}
+
+// MeasureActual times the workload on the bundled synthetic silicon —
+// the stand-in for deploying on real hardware that all accuracy
+// experiments compare against. On a real deployment this would be
+// replaced by running the job.
+func (p *Predictor) MeasureActual(w Workload, modelFLOPs float64, dtype DType) (*Report, error) {
+	return p.pipeline.MeasureActual(w, p.oracle, modelFLOPs, dtype)
+}
+
+// Cluster returns the predictor's target cluster.
+func (p *Predictor) Cluster() Cluster { return p.pipeline.Cluster }

@@ -1,0 +1,107 @@
+package maya_test
+
+import (
+	"math"
+	"testing"
+
+	"maya"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains estimators")
+	}
+	cluster := maya.DGXV100(1)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := maya.GPT3_1_3B()
+	w, err := maya.NewMegatron(maya.MegatronConfig{
+		Model: model, NGPUs: 8, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flops := model.TrainFLOPsPerIter(32)
+	rep, err := pred.Predict(w, flops, maya.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OOM {
+		t.Fatalf("unexpected OOM: %v", rep)
+	}
+	if rep.IterTime <= 0 || rep.MFU <= 0 || rep.MFU > 1 || rep.PeakMemBytes <= 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	actual, err := pred.MeasureActual(w, flops, maya.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := math.Abs(rep.IterTime.Seconds()-actual.IterTime.Seconds()) / actual.IterTime.Seconds()
+	if e > 0.10 {
+		t.Fatalf("facade prediction error %.1f%%", e*100)
+	}
+}
+
+func TestPublicClusterParsing(t *testing.T) {
+	for _, spec := range []string{"8xV100", "64xH100", "8xA40"} {
+		c, err := maya.ClusterByName(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if c.TotalGPUs() == 0 {
+			t.Fatalf("%s: empty cluster", spec)
+		}
+	}
+	if _, err := maya.ClusterByName("3xTPU"); err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+}
+
+func TestPublicSearchFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a search")
+	}
+	out, err := maya.FindRecipe(
+		maya.SearchProblem{Model: maya.GPT3_1_3B(), Cluster: maya.DGXV100(1), GlobalBatch: 32},
+		maya.ProfileLLM,
+		maya.SearchOptions{Algorithm: "cma", Budget: 60, Parallel: 4, Seed: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best == nil || out.Best.OOM || out.Best.IterTime <= 0 {
+		t.Fatalf("search produced no usable recipe: %+v", out.Best)
+	}
+	if out.Stats.Executed == 0 {
+		t.Fatal("search executed nothing")
+	}
+}
+
+func TestNetworkSimulatorPlugIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains estimators")
+	}
+	cluster := maya.DGXH100(16) // 128 GPUs: beyond profiled collectives
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred = pred.WithNetworkSimulator()
+	model := maya.GPT3_18_4B()
+	w, err := maya.NewMegatron(maya.MegatronConfig{
+		Model: model, NGPUs: 128, GlobalBatch: 256, TP: 8, PP: 4, MicroBatches: 8,
+		ActRecompute: true, DistOptimizer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pred.Predict(w, model.TrainFLOPsPerIter(256), maya.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OOM || rep.IterTime <= 0 {
+		t.Fatalf("hyperscale prediction failed: %+v", rep)
+	}
+}

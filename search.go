@@ -1,0 +1,51 @@
+package maya
+
+import (
+	"maya/internal/core"
+	"maya/internal/framework"
+	"maya/internal/hardware"
+	"maya/internal/search"
+)
+
+// Search types re-exported from Maya-Search.
+type (
+	// SearchProblem fixes model, cluster and global batch.
+	SearchProblem = search.Problem
+	// SearchOptions tunes algorithm, budget, parallelism, pruning.
+	SearchOptions = search.Options
+	// SearchOutcome is a completed search with stats and trajectory.
+	SearchOutcome = search.Outcome
+	// Knobs is one point in the recipe space.
+	Knobs = search.Knobs
+)
+
+// MegatronSearchSpace returns the Table-5 recipe space.
+func MegatronSearchSpace() search.Space { return search.MegatronSpace() }
+
+// FindRecipe searches for the lowest-iteration-time training recipe
+// for a model on a cluster, evaluating candidates through Maya's
+// emulation pipeline (no GPUs involved). This is the ~15-line
+// integration the paper describes, packaged as one call.
+func FindRecipe(p SearchProblem, kind ProfileKind, opts SearchOptions) (*SearchOutcome, error) {
+	oracle := core.DefaultOracle(p.Cluster)
+	suite, _, err := core.SuiteFor(p.Cluster, oracle, kind)
+	if err != nil {
+		return nil, err
+	}
+	pipe := &core.Pipeline{Cluster: p.Cluster, Suite: suite, Opts: core.Options{SelectiveLaunch: true}}
+	flops := p.Model.TrainFLOPsPerIter(p.GlobalBatch)
+	eval := func(cfg framework.MegatronConfig) (search.EvalResult, error) {
+		w, err := framework.NewMegatron(cfg)
+		if err != nil {
+			return search.EvalResult{}, err
+		}
+		rep, err := pipe.Predict(w, flops, hardware.BF16)
+		if err != nil {
+			return search.EvalResult{}, err
+		}
+		return search.EvalResult{
+			OOM: rep.OOM, IterTime: rep.IterTime, MFU: rep.MFU, PeakMem: rep.PeakMemBytes,
+		}, nil
+	}
+	return search.Run(p, eval, opts)
+}
