@@ -1,0 +1,134 @@
+package maya
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"maya/internal/estimator"
+)
+
+// Request is one workload evaluation in a PredictBatch call.
+type Request struct {
+	// Workload is the training program to predict.
+	Workload Workload
+	// Options carries the same per-call knobs Predict accepts
+	// (WithModelFLOPs, WithDType, WithOracleAnnotation, ...).
+	Options []PredictOption
+}
+
+// BatchResult pairs one request's report with its error. Exactly one
+// of the two is set: a request that fails (invalid workload,
+// emulation error, cancellation) carries its own error and does not
+// affect its neighbors. Out-of-memory configurations are reports, not
+// errors.
+type BatchResult struct {
+	Report *Report
+	Err    error
+}
+
+// batchConfig collects PredictBatch options.
+type batchConfig struct {
+	concurrency int
+}
+
+// BatchOption customizes a PredictBatch call.
+type BatchOption func(*batchConfig)
+
+// WithBatchConcurrency bounds the worker pool evaluating the batch.
+// The default is runtime.GOMAXPROCS(0).
+func WithBatchConcurrency(n int) BatchOption {
+	return func(c *batchConfig) { c.concurrency = n }
+}
+
+// PredictBatch evaluates many workloads through a bounded worker pool
+// sharing one trained estimator suite — the primitive for scenario
+// sweeps ("these 500 candidate deployments, tonight") and request
+// serving. Results are positional: results[i] answers reqs[i].
+//
+// Per-request failures are isolated in their BatchResult. The
+// returned error is non-nil only when the whole batch is doomed —
+// ctx was cancelled, or the shared suite failed to resolve; the
+// positional results are still returned, every unfinished request
+// carrying that error.
+func (p *Predictor) PredictBatch(ctx context.Context, reqs []Request, opts ...BatchOption) ([]BatchResult, error) {
+	cfg := batchConfig{concurrency: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results, ctx.Err()
+	}
+
+	// Resolve the shared suite once, up front, unless every request
+	// annotates with the oracle: workers must never race into
+	// training, and a batch doomed by a failing (or cancelled)
+	// training should fail before any emulation starts.
+	for _, r := range reqs {
+		if r.Workload == nil || applyPredictOptions(r.Options).oracle {
+			continue
+		}
+		if _, err := p.resolveSuite(ctx); err != nil {
+			for i := range results {
+				results[i] = BatchResult{Err: err}
+			}
+			return results, err
+		}
+		break
+	}
+
+	workers := cfg.concurrency
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	// One estimate memo for the whole batch: sweep configurations of a
+	// model share most kernel shapes, so later requests skip the
+	// forest inference their predecessors already did.
+	memo := estimator.NewKernelMemo()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := reqs[i]
+				if r.Workload == nil {
+					results[i] = BatchResult{Err: errors.New("maya: batch request with nil workload")}
+					continue
+				}
+				s := applyPredictOptions(r.Options)
+				s.memo = memo
+				rep, err := p.predict(ctx, r.Workload, s)
+				results[i] = BatchResult{Report: rep, Err: err}
+			}
+		}()
+	}
+
+feed:
+	for i := range reqs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Report == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}

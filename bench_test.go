@@ -16,6 +16,7 @@ package maya_test
 // (emulation, simulation, forest inference, CMA-ES) for -benchmem.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -55,7 +56,7 @@ func env() *experiments.Env {
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Run(id, env())
+		tbl, err := experiments.Run(context.Background(), id, env())
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkSimulate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(job, sim.Options{}); err != nil {
+		if _, err := sim.Run(context.Background(), job, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -186,11 +187,6 @@ func BenchmarkForestPredict(b *testing.B) {
 // BenchmarkEstimatorAnnotate measures trace annotation end to end.
 func BenchmarkEstimatorAnnotate(b *testing.B) {
 	cluster := hardware.DGXV100(1)
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
-	if err != nil {
-		b.Fatal(err)
-	}
-	_ = pred // construction above warms the shared suite cache
 	m, err := framework.NewMegatron(framework.MegatronConfig{
 		Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4,
 	})
@@ -205,14 +201,16 @@ func BenchmarkEstimatorAnnotate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	suite, _, err := core.SuiteFor(cluster, core.DefaultOracle(cluster), estimator.ProfileLLM)
+	suite, _, err := core.DefaultSuiteCache().SuiteFor(context.Background(), cluster, core.DefaultOracle(cluster), estimator.ProfileLLM)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		suite.Annotate(job, nil, nil)
+		if err := suite.Annotate(context.Background(), job, nil, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -236,7 +234,8 @@ func BenchmarkEndToEndPrediction(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := pred.Predict(w, flops, maya.BF16)
+		rep, err := pred.Predict(context.Background(), w,
+			maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,4 +243,66 @@ func BenchmarkEndToEndPrediction(b *testing.B) {
 			b.Fatal("unexpected OOM")
 		}
 	}
+}
+
+// BenchmarkPredictBatch contrasts N sequential Predict calls with one
+// PredictBatch over the same N configurations, both on a warm suite
+// cache: the batch path's bounded worker pool is the win a scenario
+// sweep sees.
+func BenchmarkPredictBatch(b *testing.B) {
+	ctx := context.Background()
+	cluster := hardware.DGXV100(1)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := models.GPT3_1_3B()
+	flops := model.TrainFLOPsPerIter(32)
+	var reqs []maya.Request
+	for _, cfg := range []framework.MegatronConfig{
+		{TP: 1, PP: 2, MicroBatches: 2},
+		{TP: 2, PP: 1, MicroBatches: 2},
+		{TP: 2, PP: 2, MicroBatches: 2},
+		{TP: 2, PP: 2, MicroBatches: 4},
+		{TP: 4, PP: 2, MicroBatches: 2},
+		{TP: 2, PP: 4, MicroBatches: 4},
+		{TP: 4, PP: 1, MicroBatches: 2},
+		{TP: 2, PP: 2, MicroBatches: 8, ActRecompute: true},
+	} {
+		cfg.Model, cfg.NGPUs, cfg.GlobalBatch = model, 8, 32
+		w, err := framework.NewMegatron(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, maya.Request{Workload: w, Options: []maya.PredictOption{
+			maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16),
+		}})
+	}
+	// Warm the suite so both paths measure pure evaluation.
+	if _, err := pred.Predict(ctx, reqs[0].Workload, reqs[0].Options...); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if _, err := pred.Predict(ctx, r.Workload, r.Options...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, err := pred.PredictBatch(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
 }

@@ -1,4 +1,5 @@
 // Command maya-experiments regenerates the paper's tables and figures.
+// Ctrl-C cancels the in-flight experiment cleanly.
 //
 // Usage:
 //
@@ -9,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"maya/internal/experiments"
 )
@@ -27,14 +31,22 @@ func main() {
 		}
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	env := experiments.NewEnv(experiments.ScaleFromEnv())
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
-		t, err := experiments.Run(id, env)
+		t, err := experiments.Run(ctx, id, env)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "maya-experiments: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "maya-experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}

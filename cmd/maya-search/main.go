@@ -1,6 +1,7 @@
 // Command maya-search finds cost-optimal training recipes by
 // black-box search over the Megatron configuration space, evaluating
-// every candidate through Maya's emulation pipeline.
+// every candidate through Maya's emulation pipeline. Ctrl-C stops
+// the search cleanly and reports the best recipe found so far.
 //
 // Example:
 //
@@ -8,9 +9,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"maya"
 	"maya/internal/models"
@@ -28,6 +32,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cluster, err := maya.ClusterByName(*clusterSpec)
 	fatalIf(err)
 	mdl, err := models.ByName(*modelName)
@@ -36,14 +43,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "maya-search: %s on %s, algorithm=%s budget=%d\n",
 		mdl.Name, cluster.Name, *algo, *budget)
 
-	out, err := maya.FindRecipe(
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	fatalIf(err)
+
+	out, err := pred.FindRecipe(ctx,
 		maya.SearchProblem{Model: mdl, Cluster: cluster, GlobalBatch: *batch},
-		maya.ProfileLLM,
 		maya.SearchOptions{
 			Algorithm: *algo, Budget: *budget, Parallel: *parallel,
 			DisablePruning: *noPrune, Seed: 7,
 		})
-	fatalIf(err)
+	interrupted := errors.Is(err, context.Canceled) && out != nil && out.Best != nil
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "maya-search: interrupted; best recipe so far:")
+	} else {
+		fatalIf(err)
+	}
 
 	fmt.Printf("best recipe:   %s\n", out.Best.Knobs)
 	fmt.Printf("  iteration:   %v\n", out.Best.IterTime)
@@ -52,10 +66,17 @@ func main() {
 	fmt.Printf("trials: %d executed, %d cached, %d pruned, %d invalid (%s in %v)\n",
 		out.Stats.Executed, out.Stats.Cached, out.Stats.Skipped, out.Stats.Invalid,
 		out.Stopped, out.Elapsed.Round(1e6))
+	if interrupted {
+		os.Exit(130)
+	}
 }
 
 func fatalIf(err error) {
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "maya-search: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "maya-search:", err)
 		os.Exit(1)
 	}

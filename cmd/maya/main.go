@@ -1,5 +1,6 @@
 // Command maya predicts the performance of one Megatron-LM training
-// recipe on a cluster, without GPUs.
+// recipe on a cluster, without GPUs. Ctrl-C cancels the in-flight
+// prediction cleanly, including estimator training.
 //
 // Example:
 //
@@ -7,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"maya"
 	"maya/internal/models"
@@ -33,6 +37,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cluster, err := maya.ClusterByName(*clusterSpec)
 	fatalIf(err)
 	mdl, err := models.ByName(*modelName)
@@ -51,12 +58,12 @@ func main() {
 	fatalIf(err)
 
 	flops := mdl.TrainFLOPsPerIter(*batch)
-	rep, err := pred.Predict(w, flops, maya.BF16)
+	rep, err := pred.Predict(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 	fatalIf(err)
 
 	out := map[string]any{"predicted": rep}
 	if *actual {
-		act, err := pred.MeasureActual(w, flops, maya.BF16)
+		act, err := pred.MeasureActual(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 		fatalIf(err)
 		out["actual"] = act
 	}
@@ -74,6 +81,10 @@ func main() {
 
 func fatalIf(err error) {
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "maya: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "maya:", err)
 		os.Exit(1)
 	}

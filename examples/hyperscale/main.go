@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	model := maya.GPT3_145_6B()
 	// Reduced depth keeps this example snappy; the scaling trend is
 	// identical, each stage just repeats fewer layers.
@@ -43,7 +45,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := pred.Predict(job, model.TrainFLOPsPerIter(globalBatch), maya.BF16)
+		rep, err := pred.Predict(ctx, job,
+			maya.WithModelFLOPs(model.TrainFLOPsPerIter(globalBatch)), maya.WithDType(maya.BF16))
 		if err != nil {
 			log.Fatal(err)
 		}

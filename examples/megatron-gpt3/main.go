@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster := maya.DGXV100(2)
 	model := maya.GPT3_2_7B()
 	const globalBatch = 64
@@ -46,7 +48,7 @@ func main() {
 			log.Fatalf("recipe %d: %v", i, err)
 		}
 		flops := model.TrainFLOPsPerIter(globalBatch)
-		p, err := pred.Predict(job, flops, maya.BF16)
+		p, err := pred.Predict(ctx, job, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func main() {
 			fmt.Printf("%-55s %12s\n", r, "OOM")
 			continue
 		}
-		a, err := pred.MeasureActual(job, flops, maya.BF16)
+		a, err := pred.MeasureActual(ctx, job, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,10 +11,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster := maya.DGXH100(4) // 4 nodes x 8 H100 = 32 GPUs
 
-	// The predictor profiles synthetic microbenchmarks and trains its
-	// kernel-runtime estimators on first use (cached afterwards).
+	// Estimator training is the expensive part of setup; warming the
+	// shared cache makes the cost explicit (predictors would otherwise
+	// train lazily on first use).
+	if err := maya.DefaultEstimatorCache().Warm(ctx, cluster, maya.ProfileLLM); err != nil {
+		log.Fatal(err)
+	}
 	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
 	if err != nil {
 		log.Fatal(err)
@@ -38,10 +44,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := pred.Predict(job, model.TrainFLOPsPerIter(recipe.GlobalBatch), maya.BF16)
+	report, err := pred.Predict(ctx, job,
+		maya.WithModelFLOPs(model.TrainFLOPsPerIter(recipe.GlobalBatch)),
+		maya.WithDType(maya.BF16))
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := maya.DefaultEstimatorCache().Stats()
+	fmt.Printf("estimator cache: %d trained, %d hits\n", stats.Trained, stats.Hits)
 
 	if report.OOM {
 		fmt.Printf("recipe does not fit: peak %0.1f GiB per GPU\n", float64(report.PeakMemBytes)/(1<<30))

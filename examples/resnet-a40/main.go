@@ -1,9 +1,12 @@
 // Vision workloads: predict ResNet-152 distributed training on the
 // 8xA40 node (heterogeneous pairwise NVLink), with and without
-// torch.compile-style kernel fusion — the Fig. 10 scenario.
+// torch.compile-style kernel fusion — the Fig. 10 scenario. The
+// batch/compile sweep goes through PredictBatch: one trained suite,
+// a bounded worker pool, per-request failure isolation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster := maya.A40Node()
 	model := maya.ResNet152()
 
@@ -19,7 +23,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-42s %12s %10s %9s\n", "config", "iter time", "MFU", "peak mem")
+	// One request per (batch, compile) point; the pool evaluates them
+	// concurrently against the shared suite.
+	type cfg struct {
+		batch   int
+		compile bool
+	}
+	var cfgs []cfg
+	var reqs []maya.Request
 	for _, batch := range []int{128, 256, 512} {
 		for _, compile := range []bool{false, true} {
 			job, err := maya.NewDataParallel(maya.DataParallelConfig{
@@ -33,18 +44,35 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			rep, err := pred.Predict(job, model.TrainFLOPsPerIter(batch), maya.FP16)
-			if err != nil {
-				log.Fatal(err)
-			}
-			name := fmt.Sprintf("resnet152 batch=%d compile=%t", batch, compile)
-			if rep.OOM {
-				fmt.Printf("%-42s %12s\n", name, "OOM")
-				continue
-			}
-			fmt.Printf("%-42s %12v %9.1f%% %7.1fGiB\n",
-				name, rep.IterTime, rep.MFU*100, float64(rep.PeakMemBytes)/(1<<30))
+			cfgs = append(cfgs, cfg{batch, compile})
+			reqs = append(reqs, maya.Request{
+				Workload: job,
+				Options: []maya.PredictOption{
+					maya.WithModelFLOPs(model.TrainFLOPsPerIter(batch)),
+					maya.WithDType(maya.FP16),
+				},
+			})
 		}
+	}
+	results, err := pred.PredictBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-42s %12s %10s %9s\n", "config", "iter time", "MFU", "peak mem")
+	for i, res := range results {
+		name := fmt.Sprintf("resnet152 batch=%d compile=%t", cfgs[i].batch, cfgs[i].compile)
+		if res.Err != nil {
+			fmt.Printf("%-42s %12s\n", name, "error: "+res.Err.Error())
+			continue
+		}
+		rep := res.Report
+		if rep.OOM {
+			fmt.Printf("%-42s %12s\n", name, "OOM")
+			continue
+		}
+		fmt.Printf("%-42s %12v %9.1f%% %7.1fGiB\n",
+			name, rep.IterTime, rep.MFU*100, float64(rep.PeakMemBytes)/(1<<30))
 	}
 
 	// ZeRO stages trade memory for communication even on vision
@@ -60,7 +88,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := pred.Predict(job, model.TrainFLOPsPerIter(256), maya.FP16)
+		rep, err := pred.Predict(ctx, job,
+			maya.WithModelFLOPs(model.TrainFLOPsPerIter(256)), maya.WithDType(maya.FP16))
 		if err != nil {
 			log.Fatal(err)
 		}

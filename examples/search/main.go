@@ -5,26 +5,41 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"maya"
 )
 
 func main() {
+	// Ctrl-C stops the search mid-trial-loop; the predictor's context
+	// flows through every emulation underneath it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cluster := maya.DGXH100(4)
 	model := maya.GPT3_18_4B()
 
-	out, err := maya.FindRecipe(
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := pred.FindRecipe(ctx,
 		maya.SearchProblem{Model: model, Cluster: cluster, GlobalBatch: 256},
-		maya.ProfileLLM,
 		maya.SearchOptions{
 			Algorithm: "cma",
 			Budget:    150,
 			Parallel:  8,
 			Seed:      7,
 		})
-	if err != nil {
+	switch {
+	case errors.Is(err, context.Canceled) && out != nil && out.Best != nil:
+		fmt.Println("interrupted — best recipe so far:")
+	case err != nil:
 		log.Fatal(err)
 	}
 

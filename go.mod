@@ -1,0 +1,3 @@
+module maya
+
+go 1.24

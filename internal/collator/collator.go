@@ -13,6 +13,7 @@
 package collator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -41,14 +42,21 @@ type Result struct {
 	Participants map[trace.CollKey]int
 }
 
-// Collate merges worker traces into a job-level result.
-func Collate(workers []*trace.Worker, opts Options) (*Result, error) {
+// Collate merges worker traces into a job-level result. Cancellation
+// of ctx is observed between the per-worker passes.
+func Collate(ctx context.Context, workers []*trace.Worker, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	job, err := trace.NewJob(workers)
 	if err != nil {
 		return nil, err
 	}
 	comms, sizes, err := CommMembership(job.Workers)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if opts.Validate {

@@ -1,6 +1,7 @@
 package collator
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestMembershipReconstruction(t *testing.T) {
 	addInit(w0, 7, 2, 1)
 	w2 := worker(2, 3)
 	addInit(w2, 7, 2, 0)
-	res, err := Collate([]*trace.Worker{w0, w2}, Options{})
+	res, err := Collate(context.Background(), []*trace.Worker{w0, w2}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestConflictingCommRankRejected(t *testing.T) {
 	addInit(w0, 7, 2, 0)
 	w1 := worker(1, 2)
 	addInit(w1, 7, 2, 0) // same comm rank claimed twice
-	_, err := Collate([]*trace.Worker{w0, w1}, Options{})
+	_, err := Collate(context.Background(), []*trace.Worker{w0, w1}, Options{})
 	if err == nil || !strings.Contains(err.Error(), "claimed") {
 		t.Fatalf("err = %v", err)
 	}
@@ -58,7 +59,7 @@ func TestConflictingSizeRejected(t *testing.T) {
 	addInit(w0, 7, 2, 0)
 	w1 := worker(1, 2)
 	addInit(w1, 7, 4, 1)
-	_, err := Collate([]*trace.Worker{w0, w1}, Options{})
+	_, err := Collate(context.Background(), []*trace.Worker{w0, w1}, Options{})
 	if err == nil {
 		t.Fatal("expected size-conflict error")
 	}
@@ -69,12 +70,12 @@ func TestValidateCatchesByteMismatch(t *testing.T) {
 	addAllReduce(w0, 7, 0, 2, 0, 1024)
 	w1 := worker(1, 2)
 	addAllReduce(w1, 7, 0, 2, 1, 2048) // different payload, same call
-	_, err := Collate([]*trace.Worker{w0, w1}, Options{Validate: true})
+	_, err := Collate(context.Background(), []*trace.Worker{w0, w1}, Options{Validate: true})
 	if err == nil || !strings.Contains(err.Error(), "bytes") {
 		t.Fatalf("err = %v", err)
 	}
 	// Without validation it passes.
-	if _, err := Collate([]*trace.Worker{w0, w1}, Options{}); err != nil {
+	if _, err := Collate(context.Background(), []*trace.Worker{w0, w1}, Options{}); err != nil {
 		t.Fatalf("non-validating collate failed: %v", err)
 	}
 }
@@ -84,7 +85,7 @@ func TestParticipantsCountPresentWorkersOnly(t *testing.T) {
 	addAllReduce(w0, 7, 0, 4, 0, 64)
 	w1 := worker(1, 4)
 	addAllReduce(w1, 7, 0, 4, 1, 64)
-	res, err := Collate([]*trace.Worker{w0, w1}, Options{})
+	res, err := Collate(context.Background(), []*trace.Worker{w0, w1}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

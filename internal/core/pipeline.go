@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +42,9 @@ type Options struct {
 	// Oracle, when set, annotates kernels with ground-truth runtimes
 	// instead of learned estimates — the "oracle" rows of Table 3.
 	Oracle *silicon.Oracle
+	// Memo, when set, shares kernel-runtime estimates across
+	// predictions (batch sweeps over one model reuse most shapes).
+	Memo *estimator.KernelMemo
 	// Seed namespaces measurement randomness for actual runs.
 	Seed uint64
 }
@@ -99,7 +104,13 @@ type Pipeline struct {
 
 // Predict runs the full pipeline. modelFLOPs is the workload's
 // per-iteration model FLOP count (for MFU); pass 0 to skip MFU.
-func (p *Pipeline) Predict(w workload.Workload, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+// Every stage observes ctx: cancellation aborts emulation between
+// ranks, collation, estimation and the simulator's event loop, so a
+// large multi-rank prediction stops promptly and returns ctx.Err().
+func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Workload:     w.Name(),
 		Cluster:      p.Cluster.Name,
@@ -107,7 +118,7 @@ func (p *Pipeline) Predict(w workload.Workload, modelFLOPs float64, dtype hardwa
 	}
 
 	t0 := time.Now()
-	workers, comms, sizes, err := p.emulate(w)
+	workers, comms, sizes, err := p.emulate(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +140,7 @@ func (p *Pipeline) Predict(w workload.Workload, modelFLOPs float64, dtype hardwa
 	}
 
 	t0 = time.Now()
-	col, err := collator.Collate(workers, collator.Options{Validate: p.Opts.Validate})
+	col, err := collator.Collate(ctx, workers, collator.Options{Validate: p.Opts.Validate})
 	if err != nil {
 		return nil, err
 	}
@@ -137,14 +148,17 @@ func (p *Pipeline) Predict(w workload.Workload, modelFLOPs float64, dtype hardwa
 
 	t0 = time.Now()
 	if p.Opts.Oracle != nil {
-		p.Opts.Oracle.Annotate(col.Job, comms, sizes)
+		err = p.Opts.Oracle.Annotate(ctx, col.Job, comms, sizes)
 	} else {
-		p.Suite.Annotate(col.Job, comms, sizes)
+		err = p.Suite.AnnotateMemo(ctx, col.Job, comms, sizes, p.Opts.Memo)
+	}
+	if err != nil {
+		return nil, err
 	}
 	rep.Stages.Estimate = time.Since(t0)
 
 	t0 = time.Now()
-	sr, err := sim.Run(col.Job, sim.Options{Participants: col.Participants})
+	sr, err := sim.Run(ctx, col.Job, sim.Options{Participants: col.Participants})
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating %s: %w", w.Name(), err)
 	}
@@ -157,13 +171,16 @@ func (p *Pipeline) Predict(w workload.Workload, modelFLOPs float64, dtype hardwa
 // MeasureActual is the ground-truth path: same trace, true kernel
 // times, physical-mode simulation. It stands in for deploying the
 // workload on the cluster.
-func (p *Pipeline) MeasureActual(w workload.Workload, oracle *silicon.Oracle, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+func (p *Pipeline) MeasureActual(ctx context.Context, w workload.Workload, oracle *silicon.Oracle, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Workload:     w.Name(),
 		Cluster:      p.Cluster.Name,
 		TotalWorkers: w.World(),
 	}
-	workers, comms, sizes, err := p.emulate(w)
+	workers, comms, sizes, err := p.emulate(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -179,11 +196,11 @@ func (p *Pipeline) MeasureActual(w workload.Workload, oracle *silicon.Oracle, mo
 	if rep.OOM {
 		return rep, nil
 	}
-	col, err := collator.Collate(workers, collator.Options{Validate: p.Opts.Validate})
+	col, err := collator.Collate(ctx, workers, collator.Options{Validate: p.Opts.Validate})
 	if err != nil {
 		return nil, err
 	}
-	sr, err := silicon.MeasureActual(col.Job, oracle, comms, sizes, col.Participants, p.Opts.Seed)
+	sr, err := silicon.MeasureActual(ctx, col.Job, oracle, comms, sizes, col.Participants, p.Opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: measuring %s: %w", w.Name(), err)
 	}
@@ -214,11 +231,11 @@ func (p *Pipeline) fill(rep *Report, sr *sim.Report, modelFLOPs float64, dtype h
 // membership: from the pre-deduplication traces when all ranks were
 // emulated, supplemented by configuration knowledge (GroupAware) for
 // selectively launched jobs.
-func (p *Pipeline) emulate(w workload.Workload) ([]*trace.Worker, map[uint64][]int, map[uint64]int, error) {
+func (p *Pipeline) emulate(ctx context.Context, w workload.Workload) ([]*trace.Worker, map[uint64][]int, map[uint64]int, error) {
 	// Selective launch: the workload names its unique ranks a priori.
 	if p.Opts.SelectiveLaunch && !p.Opts.NoDedup {
 		if sl, ok := w.(workload.SelectiveLauncher); ok {
-			workers, err := p.emulateRanks(w, sl.UniqueRanks())
+			workers, err := p.emulateRanks(ctx, w, sl.UniqueRanks())
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -232,7 +249,7 @@ func (p *Pipeline) emulate(w workload.Workload) ([]*trace.Worker, map[uint64][]i
 	if !p.Opts.NoDedup && w.World() > 1 {
 		if pr, ok := w.(workload.Prober); ok {
 			probe := pr.Probe()
-			probed, err := p.emulateRanks(probe, allRanks(w.World()))
+			probed, err := p.emulateRanks(ctx, probe, allRanks(w.World()))
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -250,14 +267,14 @@ func (p *Pipeline) emulate(w workload.Workload) ([]*trace.Worker, map[uint64][]i
 				// full trace.
 				return unique, comms, sizes, nil
 			}
-			workers, err := p.emulateRanks(w, reps)
+			workers, err := p.emulateRanks(ctx, w, reps)
 			if err != nil {
 				return nil, nil, nil, err
 			}
 			return workers, comms, sizes, nil
 		}
 	}
-	workers, err := p.emulateRanks(w, allRanks(w.World()))
+	workers, err := p.emulateRanks(ctx, w, allRanks(w.World()))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -291,7 +308,11 @@ func (p *Pipeline) membership(w workload.Workload, workers []*trace.Worker) (map
 }
 
 // emulateRanks runs the given ranks concurrently, one emulator each.
-func (p *Pipeline) emulateRanks(w workload.Workload, ranks []int) ([]*trace.Worker, error) {
+// Cancellation is observed at rank granularity: queued ranks never
+// start after ctx is done, so a large emulation (the expensive stage
+// at hyperscale) aborts after at most one in-flight rank per worker
+// slot.
+func (p *Pipeline) emulateRanks(ctx context.Context, w workload.Workload, ranks []int) ([]*trace.Worker, error) {
 	workers := make([]*trace.Worker, len(ranks))
 	errs := make([]error, len(ranks))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -300,8 +321,17 @@ func (p *Pipeline) emulateRanks(w workload.Workload, ranks []int) ([]*trace.Work
 		wg.Add(1)
 		go func(i, rank int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			em := emulator.New(emulator.Config{
 				Rank:  rank,
 				World: w.World(),
@@ -319,10 +349,19 @@ func (p *Pipeline) emulateRanks(w workload.Workload, ranks []int) ([]*trace.Work
 		}(i, rank)
 	}
 	wg.Wait()
+	// A genuine emulation failure outranks the cancellations that
+	// follow it; report ctx.Err() only when every error is one.
+	var first error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if first == nil || errors.Is(first, context.Canceled) || errors.Is(first, context.DeadlineExceeded) {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
 	}
 	return workers, nil
 }

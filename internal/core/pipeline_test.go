@@ -1,20 +1,25 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
+	"maya/internal/cuda"
 	"maya/internal/estimator"
 	"maya/internal/framework"
 	"maya/internal/hardware"
 	"maya/internal/models"
+	"maya/internal/workload"
 )
 
 func pipelineFor(t *testing.T, cluster hardware.Cluster, opts Options) (*Pipeline, *Pipeline) {
 	t.Helper()
 	oracle := DefaultOracle(cluster)
-	suite, _, err := SuiteFor(cluster, oracle, estimator.ProfileLLM)
+	suite, _, err := DefaultSuiteCache().SuiteFor(context.Background(), cluster, oracle, estimator.ProfileLLM)
 	if err != nil {
 		t.Fatalf("SuiteFor: %v", err)
 	}
@@ -52,11 +57,11 @@ func TestEndToEndPredictionAccuracy(t *testing.T) {
 	for _, cfg := range configs {
 		m := megatron(t, cfg)
 		flops := cfg.Model.TrainFLOPsPerIter(cfg.GlobalBatch)
-		pred, err := p.Predict(m, flops, hardware.BF16)
+		pred, err := p.Predict(context.Background(), m, flops, hardware.BF16)
 		if err != nil {
 			t.Fatalf("Predict(%s): %v", cfg, err)
 		}
-		actual, err := p.MeasureActual(m, oracle, flops, hardware.BF16)
+		actual, err := p.MeasureActual(context.Background(), m, oracle, flops, hardware.BF16)
 		if err != nil {
 			t.Fatalf("MeasureActual(%s): %v", cfg, err)
 		}
@@ -91,15 +96,15 @@ func TestOraclePredictionBeatsLearnedOnAverage(t *testing.T) {
 	}
 	for _, cfg := range configs {
 		m := megatron(t, cfg)
-		actual, err := p.MeasureActual(m, oracle, 0, hardware.BF16)
+		actual, err := p.MeasureActual(context.Background(), m, oracle, 0, hardware.BF16)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pe, err := p.Predict(m, 0, hardware.BF16)
+		pe, err := p.Predict(context.Background(), m, 0, hardware.BF16)
 		if err != nil {
 			t.Fatal(err)
 		}
-		po, err := pOracle.Predict(m, 0, hardware.BF16)
+		po, err := pOracle.Predict(context.Background(), m, 0, hardware.BF16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,15 +131,15 @@ func TestDedupPreservesPrediction(t *testing.T) {
 	ded := &Pipeline{Cluster: cluster, Suite: p.Suite, Opts: Options{}}
 	sel := &Pipeline{Cluster: cluster, Suite: p.Suite, Opts: Options{SelectiveLaunch: true}}
 
-	rf, err := full.Predict(m, 0, hardware.BF16)
+	rf, err := full.Predict(context.Background(), m, 0, hardware.BF16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := ded.Predict(m, 0, hardware.BF16)
+	rd, err := ded.Predict(context.Background(), m, 0, hardware.BF16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := sel.Predict(m, 0, hardware.BF16)
+	rs, err := sel.Predict(context.Background(), m, 0, hardware.BF16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +169,7 @@ func TestOOMDetection(t *testing.T) {
 	// 18.4B on 8 V100-40GB without sharding: hopelessly over capacity.
 	cfg := framework.MegatronConfig{Model: models.GPT3_18_4B(), NGPUs: 8, GlobalBatch: 64, TP: 1, PP: 1, MicroBatches: 1}
 	m := megatron(t, cfg)
-	rep, err := p.Predict(m, 0, hardware.BF16)
+	rep, err := p.Predict(context.Background(), m, 0, hardware.BF16)
 	if err != nil {
 		t.Fatalf("Predict: %v", err)
 	}
@@ -182,7 +187,7 @@ func TestKnobsMoveMemoryTheRightWay(t *testing.T) {
 	base := framework.MegatronConfig{Model: models.GPT3_2_7B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 4}
 
 	peak := func(cfg framework.MegatronConfig) int64 {
-		rep, err := p.Predict(megatron(t, cfg), 0, hardware.BF16)
+		rep, err := p.Predict(context.Background(), megatron(t, cfg), 0, hardware.BF16)
 		if err != nil {
 			t.Fatalf("Predict(%s): %v", cfg, err)
 		}
@@ -226,11 +231,11 @@ func TestInterleavingReducesIterTime(t *testing.T) {
 	inter := base
 	inter.VirtualStages = 2
 
-	rb, err := p.Predict(megatron(t, base), 0, hardware.BF16)
+	rb, err := p.Predict(context.Background(), megatron(t, base), 0, hardware.BF16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ri, err := p.Predict(megatron(t, inter), 0, hardware.BF16)
+	ri, err := p.Predict(context.Background(), megatron(t, inter), 0, hardware.BF16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,5 +244,87 @@ func TestInterleavingReducesIterTime(t *testing.T) {
 	}
 	if ri.IterTime >= rb.IterTime {
 		t.Errorf("interleaving (v=2) did not reduce iteration time: %v vs %v", ri.IterTime, rb.IterTime)
+	}
+}
+
+// oraclePipeline builds a pipeline that needs no trained suite: the
+// oracle annotates directly, which keeps cancellation tests fast.
+func oraclePipeline(cluster hardware.Cluster, opts Options) *Pipeline {
+	opts.Oracle = DefaultOracle(cluster)
+	return &Pipeline{Cluster: cluster, Opts: opts}
+}
+
+func TestPredictPreCancelled(t *testing.T) {
+	cluster := hardware.DGXV100(2)
+	p := oraclePipeline(cluster, Options{SelectiveLaunch: true})
+	m := megatron(t, framework.MegatronConfig{
+		Model: models.GPT3_1_3B(), NGPUs: 16, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 2,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := p.Predict(ctx, m, 0, hardware.BF16)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict with pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("pre-cancelled Predict took %v, want immediate return", e)
+	}
+}
+
+// signalOnFirstRun wraps a workload and announces the first rank
+// starting, so cancellation tests can cancel deterministically
+// mid-emulation instead of racing a fixed sleep against core count.
+type signalOnFirstRun struct {
+	workload.Workload
+	started chan struct{}
+	once    sync.Once
+}
+
+func (s *signalOnFirstRun) Run(rank int, dev cuda.Device) error {
+	s.once.Do(func() { close(s.started) })
+	return s.Workload.Run(rank, dev)
+}
+
+func TestPredictMidFlightCancel(t *testing.T) {
+	// A 64-rank full emulation (NoDedup): the cancel fires as soon as
+	// the first rank starts, so it lands mid-emulation regardless of
+	// how many ranks run in parallel; the prediction must abort well
+	// before it would have completed.
+	cluster := hardware.DGXV100(8)
+	p := oraclePipeline(cluster, Options{NoDedup: true})
+	m := megatron(t, framework.MegatronConfig{
+		Model: models.GPT3_2_7B(), NGPUs: 64, GlobalBatch: 128, TP: 2, PP: 4, MicroBatches: 8,
+	})
+	w := &signalOnFirstRun{Workload: m, started: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := p.Predict(ctx, w, 0, hardware.BF16)
+		done <- err
+	}()
+	<-w.started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Predict after mid-flight cancel: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("Predict did not observe cancellation within 15s (elapsed %v)", time.Since(start))
+	}
+}
+
+func TestMeasureActualPreCancelled(t *testing.T) {
+	cluster := hardware.DGXV100(1)
+	p := oraclePipeline(cluster, Options{SelectiveLaunch: true})
+	m := megatron(t, framework.MegatronConfig{
+		Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.MeasureActual(ctx, m, DefaultOracle(cluster), 0, hardware.BF16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MeasureActual with pre-cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"maya/internal/emulator"
@@ -47,7 +48,7 @@ func scrapeWorkload(oracle *silicon.Oracle, cluster hardware.Cluster, w workload
 
 // scrapeLLMProfile sweeps single-layer transformer variants across
 // hidden sizes, sequence lengths, microbatch sizes and TP degrees.
-func scrapeLLMProfile(oracle *silicon.Oracle, cluster hardware.Cluster) ([]estimator.ProfileSample, error) {
+func scrapeLLMProfile(ctx context.Context, oracle *silicon.Oracle, cluster hardware.Cluster) ([]estimator.ProfileSample, error) {
 	type shape struct {
 		hidden, heads int
 	}
@@ -63,6 +64,9 @@ func scrapeLLMProfile(oracle *silicon.Oracle, cluster hardware.Cluster) ([]estim
 	maxTP := cluster.Node.GPUsPerNode
 	for _, sh := range shapes {
 		for _, seq := range seqs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, tp := range tps {
 				if tp > maxTP || sh.heads%tp != 0 || 51200%tp != 0 {
 					continue
@@ -112,11 +116,14 @@ func scrapeLLMProfile(oracle *silicon.Oracle, cluster hardware.Cluster) ([]estim
 
 // scrapeVisionProfile sweeps small CNN variants (with and without
 // torch.compile) across batch sizes.
-func scrapeVisionProfile(oracle *silicon.Oracle, cluster hardware.Cluster) ([]estimator.ProfileSample, error) {
+func scrapeVisionProfile(ctx context.Context, oracle *silicon.Oracle, cluster hardware.Cluster) ([]estimator.ProfileSample, error) {
 	var out []estimator.ProfileSample
 	id := int64(2 << 40)
 	cnns := []models.CNN{models.ResNet50(), models.MobileNetV2(), models.VGG19()}
 	for _, cnn := range cnns {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, b := range []int{4, 16, 32, 64} {
 			for _, compile := range []bool{false, true} {
 				c := cnn
@@ -152,17 +159,22 @@ func scrapeVisionProfile(oracle *silicon.Oracle, cluster hardware.Cluster) ([]es
 
 // BuildProfile assembles the full training corpus for a cluster:
 // dense synthetic sweeps for heavy hitters plus trace-scraped tails.
-func BuildProfile(oracle *silicon.Oracle, cluster hardware.Cluster, kind estimator.ProfileKind) ([]estimator.ProfileSample, error) {
+// The scrape sweeps observe ctx so a cancelled warm-up stops without
+// finishing the corpus.
+func BuildProfile(ctx context.Context, oracle *silicon.Oracle, cluster hardware.Cluster, kind estimator.ProfileKind) ([]estimator.ProfileSample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	profile := estimator.SyntheticProfile(oracle, cluster, kind, 0xA11CE)
 	if kind == estimator.ProfileLLM || kind == estimator.ProfileAll {
-		scraped, err := scrapeLLMProfile(oracle, cluster)
+		scraped, err := scrapeLLMProfile(ctx, oracle, cluster)
 		if err != nil {
 			return nil, err
 		}
 		profile = append(profile, scraped...)
 	}
 	if kind == estimator.ProfileVision || kind == estimator.ProfileAll {
-		scraped, err := scrapeVisionProfile(oracle, cluster)
+		scraped, err := scrapeVisionProfile(ctx, oracle, cluster)
 		if err != nil {
 			return nil, err
 		}

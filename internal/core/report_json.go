@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// The JSON shape of Report is a stable contract for external tooling
+// consuming `maya -json` output: snake_case field names, raw
+// nanosecond integers as the authoritative values, and redundant
+// millisecond floats plus Go duration strings for human readers.
+// UnmarshalJSON restores a Report from the *_ns fields alone, so the
+// encoding round-trips exactly.
+
+type stageTimingsJSON struct {
+	EmulateNS  int64  `json:"emulate_ns"`
+	Emulate    string `json:"emulate"`
+	CollateNS  int64  `json:"collate_ns"`
+	Collate    string `json:"collate"`
+	EstimateNS int64  `json:"estimate_ns"`
+	Estimate   string `json:"estimate"`
+	SimulateNS int64  `json:"simulate_ns"`
+	Simulate   string `json:"simulate"`
+	TotalNS    int64  `json:"total_ns"`
+	Total      string `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s StageTimings) MarshalJSON() ([]byte, error) {
+	return json.Marshal(stageTimingsJSON{
+		EmulateNS:  s.Emulate.Nanoseconds(),
+		Emulate:    s.Emulate.String(),
+		CollateNS:  s.Collate.Nanoseconds(),
+		Collate:    s.Collate.String(),
+		EstimateNS: s.Estimate.Nanoseconds(),
+		Estimate:   s.Estimate.String(),
+		SimulateNS: s.Simulate.Nanoseconds(),
+		Simulate:   s.Simulate.String(),
+		TotalNS:    s.Total().Nanoseconds(),
+		Total:      s.Total().String(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring from the raw
+// nanosecond fields.
+func (s *StageTimings) UnmarshalJSON(data []byte) error {
+	var j stageTimingsJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	s.Emulate = time.Duration(j.EmulateNS)
+	s.Collate = time.Duration(j.CollateNS)
+	s.Estimate = time.Duration(j.EstimateNS)
+	s.Simulate = time.Duration(j.SimulateNS)
+	return nil
+}
+
+type reportJSON struct {
+	Workload string `json:"workload"`
+	Cluster  string `json:"cluster"`
+
+	IterTimeNS int64   `json:"iter_time_ns"`
+	IterTimeMS float64 `json:"iter_time_ms"`
+	IterTime   string  `json:"iter_time"`
+
+	CommTimeNS int64   `json:"comm_time_ns"`
+	CommTimeMS float64 `json:"comm_time_ms"`
+	CommTime   string  `json:"comm_time"`
+
+	ExposedCommNS int64   `json:"exposed_comm_ns"`
+	ExposedCommMS float64 `json:"exposed_comm_ms"`
+	ExposedComm   string  `json:"exposed_comm"`
+
+	PeakMemBytes int64   `json:"peak_mem_bytes"`
+	OOM          bool    `json:"oom"`
+	MFU          float64 `json:"mfu"`
+
+	Stages        StageTimings `json:"stages"`
+	UniqueWorkers int          `json:"unique_workers"`
+	TotalWorkers  int          `json:"total_workers"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// MarshalJSON implements json.Marshaler.
+func (r Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		Workload:      r.Workload,
+		Cluster:       r.Cluster,
+		IterTimeNS:    r.IterTime.Nanoseconds(),
+		IterTimeMS:    ms(r.IterTime),
+		IterTime:      r.IterTime.String(),
+		CommTimeNS:    r.CommTime.Nanoseconds(),
+		CommTimeMS:    ms(r.CommTime),
+		CommTime:      r.CommTime.String(),
+		ExposedCommNS: r.ExposedComm.Nanoseconds(),
+		ExposedCommMS: ms(r.ExposedComm),
+		ExposedComm:   r.ExposedComm.String(),
+		PeakMemBytes:  r.PeakMemBytes,
+		OOM:           r.OOM,
+		MFU:           r.MFU,
+		Stages:        r.Stages,
+		UniqueWorkers: r.UniqueWorkers,
+		TotalWorkers:  r.TotalWorkers,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring from the raw
+// nanosecond fields.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var j reportJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*r = Report{
+		Workload:      j.Workload,
+		Cluster:       j.Cluster,
+		IterTime:      time.Duration(j.IterTimeNS),
+		CommTime:      time.Duration(j.CommTimeNS),
+		ExposedComm:   time.Duration(j.ExposedCommNS),
+		PeakMemBytes:  j.PeakMemBytes,
+		OOM:           j.OOM,
+		MFU:           j.MFU,
+		Stages:        j.Stages,
+		UniqueWorkers: j.UniqueWorkers,
+		TotalWorkers:  j.TotalWorkers,
+	}
+	return nil
+}

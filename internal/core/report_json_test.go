@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() Report {
+	return Report{
+		Workload:     "megatron-gpt3-2.7b",
+		Cluster:      "16xV100",
+		IterTime:     1234567890 * time.Nanosecond,
+		CommTime:     345 * time.Millisecond,
+		ExposedComm:  12 * time.Millisecond,
+		PeakMemBytes: 31 << 30,
+		MFU:          0.4215,
+		Stages: StageTimings{
+			Emulate:  130 * time.Millisecond,
+			Collate:  7 * time.Millisecond,
+			Estimate: 52 * time.Millisecond,
+			Simulate: 260 * time.Millisecond,
+		},
+		UniqueWorkers: 4,
+		TotalWorkers:  16,
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	want := sampleReport()
+	data, err := json.Marshal(&want)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed report:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReportJSONStableFieldNames(t *testing.T) {
+	data, err := json.Marshal(sampleReport())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s := string(data)
+	for _, field := range []string{
+		`"workload"`, `"cluster"`,
+		`"iter_time_ns"`, `"iter_time_ms"`, `"iter_time"`,
+		`"comm_time_ns"`, `"comm_time_ms"`, `"comm_time"`,
+		`"exposed_comm_ns"`, `"exposed_comm_ms"`, `"exposed_comm"`,
+		`"peak_mem_bytes"`, `"oom"`, `"mfu"`,
+		`"stages"`, `"emulate_ns"`, `"collate_ns"`, `"estimate_ns"`, `"simulate_ns"`, `"total_ns"`,
+		`"unique_workers"`, `"total_workers"`,
+	} {
+		if !strings.Contains(s, field) {
+			t.Errorf("JSON missing stable field %s in %s", field, s)
+		}
+	}
+}
+
+func TestReportJSONHumanReadableDurations(t *testing.T) {
+	rep := sampleReport()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := raw["iter_time"]; got != rep.IterTime.String() {
+		t.Errorf("iter_time = %v, want %q", got, rep.IterTime.String())
+	}
+	if got := raw["iter_time_ms"].(float64); got != 1234.56789 {
+		t.Errorf("iter_time_ms = %v, want 1234.56789", got)
+	}
+	if got := raw["iter_time_ns"].(float64); int64(got) != rep.IterTime.Nanoseconds() {
+		t.Errorf("iter_time_ns = %v, want %d", got, rep.IterTime.Nanoseconds())
+	}
+	stages := raw["stages"].(map[string]any)
+	if got := stages["total"]; got != rep.Stages.Total().String() {
+		t.Errorf("stages.total = %v, want %q", got, rep.Stages.Total().String())
+	}
+}

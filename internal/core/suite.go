@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"maya/internal/estimator"
@@ -8,17 +10,53 @@ import (
 	"maya/internal/silicon"
 )
 
-// suiteCache memoizes trained estimator suites per (cluster, profile
-// kind): profiling and forest training are the expensive part of
-// setup and are reused across every experiment on the same cluster.
-var suiteCache sync.Map // string -> *suiteEntry
+// CacheStats is a snapshot of SuiteCache accounting.
+type CacheStats struct {
+	// Hits counts lookups served by a trained (or in-flight) suite.
+	Hits int64
+	// Misses counts lookups that had to initiate training.
+	Misses int64
+	// Trained counts suites trained to completion.
+	Trained int64
+	// Evictions counts entries removed by Evict or Purge.
+	Evictions int64
+	// Errors counts training attempts that failed (including
+	// cancellations); failed entries are dropped so later lookups
+	// retry.
+	Errors int64
+	// Entries is the number of suites currently cached.
+	Entries int
+}
 
-type suiteEntry struct {
-	once  sync.Once
+// SuiteCache memoizes trained estimator suites per (cluster, profile
+// kind). Profiling and forest training are the expensive part of
+// setup; a cache instance makes their reuse explicit and observable —
+// hit/miss/trained counters, eviction, pre-warming — instead of the
+// former unobservable process-global map. The zero value is not
+// usable; call NewSuiteCache.
+type SuiteCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once training finished
 	suite *estimator.Suite
 	mape  map[string]float64
 	err   error
 }
+
+// NewSuiteCache returns an empty cache.
+func NewSuiteCache() *SuiteCache {
+	return &SuiteCache{entries: make(map[string]*cacheEntry)}
+}
+
+var defaultSuiteCache = NewSuiteCache()
+
+// DefaultSuiteCache returns the process-wide shared cache that
+// predictors use unless one is injected explicitly.
+func DefaultSuiteCache() *SuiteCache { return defaultSuiteCache }
 
 func profileKindName(k estimator.ProfileKind) string {
 	switch k {
@@ -31,22 +69,124 @@ func profileKindName(k estimator.ProfileKind) string {
 	}
 }
 
+func suiteKey(cluster hardware.Cluster, kind estimator.ProfileKind) string {
+	return cluster.Name + "/" + profileKindName(kind)
+}
+
 // SuiteFor returns the trained estimator suite for a cluster,
 // profiling the synthetic silicon and training forests on first use.
 // The held-out per-kernel MAPE (Tables 7-9) is returned alongside.
-func SuiteFor(cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind) (*estimator.Suite, map[string]float64, error) {
-	key := cluster.Name + "/" + profileKindName(kind)
-	v, _ := suiteCache.LoadOrStore(key, &suiteEntry{})
-	e := v.(*suiteEntry)
-	e.once.Do(func() {
-		profile, err := BuildProfile(oracle, cluster, kind)
-		if err != nil {
-			e.err = err
-			return
+//
+// Exactly one caller trains per key; concurrent callers wait on the
+// in-flight training but honor their own ctx while doing so. A
+// cancelled or failed training is not cached: the entry is dropped,
+// the next lookup retries, and a waiter whose own ctx is still alive
+// when the trainer's was cancelled takes over the training itself.
+func (c *SuiteCache) SuiteFor(ctx context.Context, cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind) (*estimator.Suite, map[string]float64, error) {
+	key := suiteKey(cluster, kind)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
 		}
-		e.suite, e.mape, e.err = estimator.TrainAndEvaluate(profile, cluster, estimator.TrainOptions{})
-	})
-	return e.suite, e.mape, e.err
+
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.stats.Hits++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				if e.err != nil && ctxError(e.err) && ctx.Err() == nil {
+					// The trainer was cancelled, we were not: the
+					// failed entry is already dropped, so retry (and
+					// likely become the trainer).
+					continue
+				}
+				return e.suite, e.mape, e.err
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		e.suite, e.mape, e.err = trainSuite(ctx, cluster, oracle, kind)
+
+		c.mu.Lock()
+		if e.err != nil {
+			c.stats.Errors++
+			// Drop the failed entry only if it is still ours (an Evict
+			// racing with training may already have replaced it).
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+		} else {
+			c.stats.Trained++
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return e.suite, e.mape, e.err
+	}
+}
+
+// ctxError reports whether err is a context cancellation/deadline —
+// a transient, caller-scoped failure rather than a training defect.
+func ctxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Warm trains (or confirms) the suite for a cluster and profile kind
+// without constructing a predictor, so services can pay the training
+// cost at startup rather than on the first request.
+func (c *SuiteCache) Warm(ctx context.Context, cluster hardware.Cluster, kind estimator.ProfileKind) error {
+	_, _, err := c.SuiteFor(ctx, cluster, DefaultOracle(cluster), kind)
+	return err
+}
+
+// Evict removes the cached suite for a cluster and profile kind,
+// reporting whether an entry was present. Lookups already waiting on
+// an in-flight training are unaffected; subsequent lookups retrain.
+func (c *SuiteCache) Evict(cluster hardware.Cluster, kind estimator.ProfileKind) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := suiteKey(cluster, kind)
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.stats.Evictions++
+	return true
+}
+
+// Purge empties the cache and returns how many entries were dropped.
+func (c *SuiteCache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]*cacheEntry)
+	c.stats.Evictions += int64(n)
+	return n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SuiteCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+func trainSuite(ctx context.Context, cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind) (*estimator.Suite, map[string]float64, error) {
+	profile, err := BuildProfile(ctx, oracle, cluster, kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return estimator.TrainAndEvaluate(profile, cluster, estimator.TrainOptions{})
 }
 
 // DefaultOracle returns the canonical silicon instance for a cluster:

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"maya/internal/estimator"
+	"maya/internal/hardware"
+)
+
+func TestSuiteCachePreCancelled(t *testing.T) {
+	c := NewSuiteCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cluster := hardware.DGXV100(1)
+	_, _, err := c.SuiteFor(ctx, cluster, DefaultOracle(cluster), estimator.ProfileLLM)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SuiteFor with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The failed lookup must not poison the cache.
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("cancelled lookup left %d entries", s.Entries)
+	}
+}
+
+func TestSuiteCacheWarmCancelled(t *testing.T) {
+	c := NewSuiteCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Warm(ctx, hardware.DGXV100(1), estimator.ProfileLLM); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Warm with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSuiteCacheStatsAndEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains estimators")
+	}
+	c := NewSuiteCache()
+	cluster := hardware.DGXV100(1)
+	ctx := context.Background()
+
+	if err := c.Warm(ctx, cluster, estimator.ProfileLLM); err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Trained != 1 || s.Entries != 1 || s.Hits != 0 {
+		t.Fatalf("after warm: %+v", s)
+	}
+
+	// Second lookup is a hit and returns the identical suite.
+	s1, _, err := c.SuiteFor(ctx, cluster, DefaultOracle(cluster), estimator.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := c.SuiteFor(ctx, cluster, DefaultOracle(cluster), estimator.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("cache returned distinct suites for the same key")
+	}
+	s = c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Trained != 1 {
+		t.Fatalf("after hits: %+v", s)
+	}
+
+	// Eviction empties the cache; a different kind was never present.
+	if c.Evict(cluster, estimator.ProfileVision) {
+		t.Fatal("evicted an entry that was never cached")
+	}
+	if !c.Evict(cluster, estimator.ProfileLLM) {
+		t.Fatal("failed to evict the cached suite")
+	}
+	s = c.Stats()
+	if s.Entries != 0 || s.Evictions != 1 {
+		t.Fatalf("after evict: %+v", s)
+	}
+}

@@ -8,9 +8,11 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"maya/internal/forest"
@@ -134,12 +136,66 @@ func (s *Suite) EstimateCollective(opName string, bytes int64, ranks []int, nran
 	return s.coll.Estimate(opName, bytes, ranks, nranks)
 }
 
+// KernelMemo caches kernel-runtime estimates by operation shape, for
+// reuse across the many predictions of a batch sweep: configurations
+// of one model share most kernel shapes, so later requests skip the
+// forest inference entirely. Safe for concurrent use. Collectives are
+// never memoized (their time depends on communicator topology), nor
+// are kernels carrying Extra features.
+type KernelMemo struct {
+	m sync.Map // uint64 shape hash -> time.Duration
+}
+
+// NewKernelMemo returns an empty memo.
+func NewKernelMemo() *KernelMemo { return &KernelMemo{} }
+
+// kernelKey hashes the estimate-relevant shape of a kernel op
+// (FNV-1a over name, dtype, dims and work counts), allocation-free.
+// ok is false for ops whose estimate depends on more than the shape.
+func kernelKey(op *trace.Op) (uint64, bool) {
+	if op.Extra != nil {
+		return 0, false
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for i := 0; i < len(op.Name); i++ {
+		h ^= uint64(op.Name[i])
+		h *= prime
+	}
+	mix(uint64(op.Kind))
+	for i := 0; i < len(op.DType); i++ {
+		h ^= uint64(op.DType[i])
+		h *= prime
+	}
+	for _, d := range op.Dims {
+		mix(uint64(d))
+	}
+	mix(uint64(op.Bytes))
+	mix(uint64(op.FLOPs))
+	return h, true
+}
+
 // Annotate writes predicted durations into every device op of the
 // job. comms provides communicator membership from the collator;
 // incomplete groups are extrapolated by stride (Megatron process
 // groups are uniform-stride, so deduplicated jobs still get correct
-// topology classification).
-func (s *Suite) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint64]int) {
+// topology classification). Cancellation of ctx is observed between
+// workers; a cancelled annotation returns ctx.Err() with the job
+// partially annotated.
+func (s *Suite) Annotate(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int) error {
+	return s.AnnotateMemo(ctx, job, comms, sizes, nil)
+}
+
+// AnnotateMemo is Annotate with an optional shared estimate memo
+// (nil behaves like Annotate).
+func (s *Suite) AnnotateMemo(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int, memo *KernelMemo) error {
 	world := 0
 	for _, w := range job.Workers {
 		if w.World > world {
@@ -147,10 +203,24 @@ func (s *Suite) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint6
 		}
 	}
 	for _, w := range job.Workers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := range w.Ops {
 			op := &w.Ops[i]
 			switch op.Kind {
 			case trace.KindKernel, trace.KindMemcpy, trace.KindMemset:
+				if memo != nil {
+					if key, ok := kernelKey(op); ok {
+						if d, hit := memo.m.Load(key); hit {
+							op.Dur = d.(time.Duration)
+							continue
+						}
+						op.Dur = s.EstimateKernel(op)
+						memo.m.Store(key, op.Dur)
+						continue
+					}
+				}
 				op.Dur = s.EstimateKernel(op)
 			case trace.KindCollective:
 				if op.Coll.Seq < 0 {
@@ -161,6 +231,7 @@ func (s *Suite) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint6
 			}
 		}
 	}
+	return nil
 }
 
 // MAPEByKernel evaluates the suite's per-kernel-name mean absolute

@@ -6,6 +6,7 @@ package experiments
 // scales with GPU count.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ func init() {
 	register("fig14", fig14)
 }
 
-func fig14(e *Env) (*Table, error) {
+func fig14(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig14",
 		Title:  "Impact of worker deduplication on Maya's runtime",
@@ -43,7 +44,7 @@ func fig14(e *Env) (*Table, error) {
 		scales = append(scales[:2], scales[3:]...)
 	}
 	for _, sc := range scales {
-		pipe, err := e.Predictor(sc.cluster, estimator.ProfileLLM)
+		pipe, err := e.Predictor(ctx, sc.cluster, estimator.ProfileLLM)
 		if err != nil {
 			return nil, err
 		}
@@ -67,14 +68,14 @@ func fig14(e *Env) (*Table, error) {
 		dedup := &core.Pipeline{Cluster: sc.cluster, Suite: pipe.Suite, Opts: core.Options{}}
 
 		t0 := time.Now()
-		rf, err := noDedup.Predict(w, 0, hardware.BF16)
+		rf, err := noDedup.Predict(ctx, w, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}
 		tFull := time.Since(t0)
 
 		t0 = time.Now()
-		rd, err := dedup.Predict(w, 0, hardware.BF16)
+		rd, err := dedup.Predict(ctx, w, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ package experiments
 // vs end-to-end error breakdown).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,8 +31,7 @@ func init() {
 
 // setupSpec is one (model, cluster) evaluation scenario. Global batch
 // sizes are scaled down from the paper's (256/512) to keep sweep
-// wall-clock tractable; the comparison shape is unaffected (noted in
-// EXPERIMENTS.md).
+// wall-clock tractable; the comparison shape is unaffected.
 type setupSpec struct {
 	name        string
 	model       models.Transformer
@@ -62,10 +62,10 @@ const mayaName = "Maya"
 
 // sweep evaluates up to maxConfigs valid non-OOM configurations for a
 // setup: actual deployment time plus every system's prediction.
-func (e *Env) sweep(setup setupSpec, maxConfigs int) ([]point, error) {
+func (e *Env) sweep(ctx context.Context, setup setupSpec, maxConfigs int) ([]point, error) {
 	key := fmt.Sprintf("sweep/%s/%d", setup.name, maxConfigs)
 	v, err := e.memo(key, func() (any, error) {
-		pipe, err := e.Predictor(setup.cluster, estimator.ProfileLLM)
+		pipe, err := e.Predictor(ctx, setup.cluster, estimator.ProfileLLM)
 		if err != nil {
 			return nil, err
 		}
@@ -107,14 +107,14 @@ func (e *Env) sweep(setup setupSpec, maxConfigs int) ([]point, error) {
 			if seen(pts, knobs) {
 				continue
 			}
-			pred, err := pipe.Predict(m(cfg), flops, hardware.BF16)
+			pred, err := pipe.Predict(ctx, m(cfg), flops, hardware.BF16)
 			if err != nil {
 				return nil, err
 			}
 			if pred.OOM {
 				continue
 			}
-			actual, err := pipe.MeasureActual(m(cfg), oracle, flops, hardware.BF16)
+			actual, err := pipe.MeasureActual(ctx, m(cfg), oracle, flops, hardware.BF16)
 			if err != nil {
 				return nil, err
 			}
@@ -166,7 +166,7 @@ func systemOrder() []string {
 	return []string{mayaName, "Proteus", "Calculon", "AMPeD"}
 }
 
-func fig7(e *Env) (*Table, error) {
+func fig7(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Predicted vs actual iteration time across configurations",
@@ -174,7 +174,7 @@ func fig7(e *Env) (*Table, error) {
 	}
 	n := e.Scale.pick(14, 48)
 	for _, setup := range accuracySetups() {
-		pts, err := e.sweep(setup, n)
+		pts, err := e.sweep(ctx, setup, n)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +224,7 @@ func relErr(a, b time.Duration) float64 {
 	return math.Abs(float64(a-b)) / float64(b)
 }
 
-func fig8(e *Env) (*Table, error) {
+func fig8(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig8",
 		Title:  "Cost of each system's selected configuration, normalized to optimal",
@@ -232,7 +232,7 @@ func fig8(e *Env) (*Table, error) {
 	}
 	n := e.Scale.pick(14, 48)
 	for _, setup := range accuracySetups() {
-		pts, err := e.sweep(setup, n)
+		pts, err := e.sweep(ctx, setup, n)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +277,7 @@ func fig8(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func fig9(e *Env) (*Table, error) {
+func fig9(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig9",
 		Title:  "CDF of absolute prediction error",
@@ -285,7 +285,7 @@ func fig9(e *Env) (*Table, error) {
 	}
 	n := e.Scale.pick(14, 48)
 	for _, setup := range accuracySetups() {
-		pts, err := e.sweep(setup, n)
+		pts, err := e.sweep(ctx, setup, n)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +324,7 @@ func quantile(sorted []float64, q float64) float64 {
 }
 
 // table3 reproduces the oracle-vs-E2E error breakdown on V100.
-func table3(e *Env) (*Table, error) {
+func table3(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "table3",
 		Title:  "Error breakdown: oracle kernel times vs end-to-end (V100)",
@@ -353,7 +353,7 @@ func table3(e *Env) (*Table, error) {
 	}
 	for _, r := range rows {
 		cluster := hardware.DGXV100(r.gpus / 8)
-		pipe, err := e.Predictor(cluster, estimator.ProfileLLM)
+		pipe, err := e.Predictor(ctx, cluster, estimator.ProfileLLM)
 		if err != nil {
 			return nil, err
 		}
@@ -373,15 +373,15 @@ func table3(e *Env) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table3 row %+v: %w", r, err)
 		}
-		actual, err := pipe.MeasureActual(w, oracle, 0, hardware.BF16)
+		actual, err := pipe.MeasureActual(ctx, w, oracle, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}
-		e2e, err := pipe.Predict(w, 0, hardware.BF16)
+		e2e, err := pipe.Predict(ctx, w, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}
-		orc, err := oraclePipe.Predict(w, 0, hardware.BF16)
+		orc, err := oraclePipe.Predict(ctx, w, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ package experiments
 // through emulation rather than asserted).
 
 import (
+	"context"
 	"fmt"
 
 	"maya/internal/baselines"
@@ -35,7 +36,7 @@ func probeSupport(sys baselines.System, mutate func(*framework.MegatronConfig)) 
 	return ok
 }
 
-func table1(e *Env) (*Table, error) {
+func table1(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "table1",
 		Title:  "Modeling-domain comparison (checked against the implementations)",
@@ -74,14 +75,14 @@ func table1(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func table2(e *Env) (*Table, error) {
+func table2(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "table2",
 		Title:  "Measured effect of each knob on compute time, peak memory and network traffic",
 		Header: []string{"knob", "iter time", "peak memory", "comm busy"},
 	}
 	cluster := hardware.DGXH100(4)
-	pipe, err := e.Predictor(cluster, estimator.ProfileLLM)
+	pipe, err := e.Predictor(ctx, cluster, estimator.ProfileLLM)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +97,7 @@ func table2(e *Env) (*Table, error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		rep, err := pipe.Predict(w, 0, hardware.BF16)
+		rep, err := pipe.Predict(ctx, w, 0, hardware.BF16)
 		if err != nil {
 			return 0, 0, 0, err
 		}

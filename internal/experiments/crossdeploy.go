@@ -6,6 +6,7 @@ package experiments
 // cluster i's recipe on cluster j costs relative to j's own optimum.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,13 +31,13 @@ type crossBest struct {
 // crossEval measures the ACTUAL cost of a recipe on a cluster
 // (deploy-and-time, like the paper's Fig. 2), returning ok=false on
 // OOM or structural invalidity.
-func (e *Env) crossEval(cluster hardware.Cluster, mdl models.Transformer, batch int, k search.Knobs) (crossBest, bool, error) {
+func (e *Env) crossEval(ctx context.Context, cluster hardware.Cluster, mdl models.Transformer, batch int, k search.Knobs) (crossBest, bool, error) {
 	problem := search.Problem{Model: mdl, Cluster: cluster, GlobalBatch: batch}
 	cfg, ok := problem.Build(k)
 	if !ok {
 		return crossBest{}, false, nil
 	}
-	pipe, err := e.Predictor(cluster, estimator.ProfileLLM)
+	pipe, err := e.Predictor(ctx, cluster, estimator.ProfileLLM)
 	if err != nil {
 		return crossBest{}, false, err
 	}
@@ -44,7 +45,7 @@ func (e *Env) crossEval(cluster hardware.Cluster, mdl models.Transformer, batch 
 	if err != nil {
 		return crossBest{}, false, err
 	}
-	rep, err := pipe.MeasureActual(w, e.Oracle(cluster), mdl.TrainFLOPsPerIter(batch), hardware.BF16)
+	rep, err := pipe.MeasureActual(ctx, w, e.Oracle(cluster), mdl.TrainFLOPsPerIter(batch), hardware.BF16)
 	if err != nil {
 		return crossBest{}, false, err
 	}
@@ -54,7 +55,7 @@ func (e *Env) crossEval(cluster hardware.Cluster, mdl models.Transformer, batch 
 	return crossBest{knobs: k, iter: rep.IterTime, mfu: rep.MFU}, true, nil
 }
 
-func fig2(e *Env) (*Table, error) {
+func fig2(ctx context.Context, e *Env) (*Table, error) {
 	mdl := models.GPT3_18_4B()
 	sizes := []int{16, 32, 64, 128}
 	// Global batch fixed across cluster sizes, as in the paper.
@@ -77,7 +78,7 @@ func fig2(e *Env) (*Table, error) {
 			if found >= budget {
 				break
 			}
-			r, ok, err := e.crossEval(cluster, mdl, batch, all[pi])
+			r, ok, err := e.crossEval(ctx, cluster, mdl, batch, all[pi])
 			if err != nil {
 				return nil, err
 			}
@@ -120,7 +121,7 @@ func fig2(e *Env) (*Table, error) {
 				// Not in the sampled set for that size: evaluate now.
 				cluster := hardware.DGXH100(dep / 8)
 				var err error
-				r, ok, err = e.crossEval(cluster, mdl, batch, best[ref].knobs)
+				r, ok, err = e.crossEval(ctx, cluster, mdl, batch, best[ref].knobs)
 				if err != nil {
 					return nil, err
 				}

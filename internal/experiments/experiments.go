@@ -2,7 +2,7 @@
 // paper's evaluation from this repository's implementation. Each
 // experiment is registered under the paper's artifact id ("fig7",
 // "table3", ...) and renders the same rows/series the paper reports;
-// EXPERIMENTS.md records measured-vs-paper outcomes.
+// DESIGN.md's experiment index maps ids to artifacts.
 //
 // Wall-clock budgets are controlled by the MAYA_EXP_SCALE environment
 // variable: "quick" (default; suitable for `go test -bench`) evaluates
@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -91,8 +93,9 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
-// Runner is an experiment entry point.
-type Runner func(*Env) (*Table, error)
+// Runner is an experiment entry point. Runners observe ctx through
+// every pipeline call, so an experiment sweep can be cancelled.
+type Runner func(context.Context, *Env) (*Table, error)
 
 var registry = map[string]Runner{}
 
@@ -111,18 +114,21 @@ func IDs() []string {
 }
 
 // Run executes one experiment by id.
-func Run(id string, env *Env) (*Table, error) {
+func Run(ctx context.Context, id string, env *Env) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(env)
+	return r(ctx, env)
 }
 
 // Env caches expensive shared state (trained suites, sweep results)
 // across experiments in one process.
 type Env struct {
 	Scale Scale
+	// Suites caches trained estimator suites. NewEnv wires the
+	// process-wide default cache.
+	Suites *core.SuiteCache
 
 	mu    sync.Mutex
 	memos map[string]*memoEntry
@@ -136,10 +142,13 @@ type memoEntry struct {
 
 // NewEnv builds an environment at the given scale.
 func NewEnv(scale Scale) *Env {
-	return &Env{Scale: scale, memos: make(map[string]*memoEntry)}
+	return &Env{Scale: scale, Suites: core.DefaultSuiteCache(), memos: make(map[string]*memoEntry)}
 }
 
-// memo runs fn once per key and caches its result.
+// memo runs fn once per key and caches its result. Context
+// cancellations are transient, not results: an entry that failed
+// with one is dropped so the next Run (with a live ctx) retries
+// instead of replaying the stale cancellation forever.
 func (e *Env) memo(key string, fn func() (any, error)) (any, error) {
 	e.mu.Lock()
 	m, ok := e.memos[key]
@@ -149,13 +158,20 @@ func (e *Env) memo(key string, fn func() (any, error)) (any, error) {
 	}
 	e.mu.Unlock()
 	m.once.Do(func() { m.val, m.err = fn() })
+	if m.err != nil && (errors.Is(m.err, context.Canceled) || errors.Is(m.err, context.DeadlineExceeded)) {
+		e.mu.Lock()
+		if e.memos[key] == m {
+			delete(e.memos, key)
+		}
+		e.mu.Unlock()
+	}
 	return m.val, m.err
 }
 
 // Predictor returns the Maya pipeline for a cluster (cached suite).
-func (e *Env) Predictor(cluster hardware.Cluster, kind estimator.ProfileKind) (*core.Pipeline, error) {
+func (e *Env) Predictor(ctx context.Context, cluster hardware.Cluster, kind estimator.ProfileKind) (*core.Pipeline, error) {
 	oracle := core.DefaultOracle(cluster)
-	suite, _, err := core.SuiteFor(cluster, oracle, kind)
+	suite, _, err := e.Suites.SuiteFor(ctx, cluster, oracle, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -163,9 +179,9 @@ func (e *Env) Predictor(cluster hardware.Cluster, kind estimator.ProfileKind) (*
 }
 
 // MAPE returns the held-out per-kernel error map for a cluster.
-func (e *Env) MAPE(cluster hardware.Cluster, kind estimator.ProfileKind) (map[string]float64, error) {
+func (e *Env) MAPE(ctx context.Context, cluster hardware.Cluster, kind estimator.ProfileKind) (map[string]float64, error) {
 	oracle := core.DefaultOracle(cluster)
-	_, mape, err := core.SuiteFor(cluster, oracle, kind)
+	_, mape, err := e.Suites.SuiteFor(ctx, cluster, oracle, kind)
 	return mape, err
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := Run("fig99", NewEnv(Quick)); err == nil {
+	if _, err := Run(context.Background(), "fig99", NewEnv(Quick)); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -55,7 +56,7 @@ func TestTable1Capabilities(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs baseline probes")
 	}
-	tbl, err := Run("table1", NewEnv(Quick))
+	tbl, err := Run(context.Background(), "table1", NewEnv(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestTable4GeneralityAllRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("emulates the generality matrix")
 	}
-	tbl, err := Run("table4", NewEnv(Quick))
+	tbl, err := Run(context.Background(), "table4", NewEnv(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package experiments
 // over both vision and NLP models, producing well-formed traces.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,7 +78,7 @@ func generalityWorkloads() ([]workload.Workload, error) {
 	return out, nil
 }
 
-func table4(e *Env) (*Table, error) {
+func table4(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "table4",
 		Title:  "Framework/model generality: emulation produces valid traces",
@@ -100,7 +101,7 @@ func table4(e *Env) (*Table, error) {
 		if tr.OOM {
 			status = "oom"
 		}
-		if _, err := collator.Collate([]*trace.Worker{tr}, collator.Options{Validate: true}); err != nil {
+		if _, err := collator.Collate(ctx, []*trace.Worker{tr}, collator.Options{Validate: true}); err != nil {
 			status = "collate FAIL: " + err.Error()
 		}
 		st := tr.Stats()
@@ -115,14 +116,14 @@ func table4(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func fig10(e *Env) (*Table, error) {
+func fig10(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig10",
 		Title:  "ResNet-152 prediction accuracy on 8xA40 (heterogeneous links, torch.compile)",
 		Header: []string{"cfg", "batch", "accum", "compile", "actual", "maya", "err"},
 	}
 	cluster := hardware.A40Node()
-	pipe, err := e.Predictor(cluster, estimator.ProfileVision)
+	pipe, err := e.Predictor(ctx, cluster, estimator.ProfileVision)
 	if err != nil {
 		return nil, err
 	}
@@ -148,11 +149,11 @@ func fig10(e *Env) (*Table, error) {
 					return nil, err
 				}
 				flops := mdl.TrainFLOPsPerIter(batch)
-				pred, err := pipe.Predict(w, flops, hardware.FP16)
+				pred, err := pipe.Predict(ctx, w, flops, hardware.FP16)
 				if err != nil {
 					return nil, err
 				}
-				actual, err := pipe.MeasureActual(w, oracle, flops, hardware.FP16)
+				actual, err := pipe.MeasureActual(ctx, w, oracle, flops, hardware.FP16)
 				if err != nil {
 					return nil, err
 				}

@@ -8,6 +8,7 @@ package experiments
 // rank per pipeline stage.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,13 +36,13 @@ func hyperscaleModel(e *Env) models.Transformer {
 	return mdl
 }
 
-func hyperscalePipeline(e *Env, nodes int) (*core.Pipeline, error) {
+func hyperscalePipeline(ctx context.Context, e *Env, nodes int) (*core.Pipeline, error) {
 	cluster := hardware.DGXH100(nodes)
 	// The estimator suite is trained once on a reference H100 cluster;
 	// kernels do not depend on cluster size, collectives come from
 	// netsim on the actual cluster.
 	ref := hardware.DGXH100(8)
-	suite, _, err := core.SuiteFor(ref, core.DefaultOracle(ref), estimator.ProfileLLM)
+	suite, _, err := e.Suites.SuiteFor(ctx, ref, core.DefaultOracle(ref), estimator.ProfileLLM)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func hyperscalePipeline(e *Env, nodes int) (*core.Pipeline, error) {
 	}, nil
 }
 
-func fig12(e *Env) (*Table, error) {
+func fig12(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig12",
 		Title:  "Predicted MFU and iteration time scaling data parallelism (TP8/PP8 fixed)",
@@ -68,7 +69,7 @@ func fig12(e *Env) (*Table, error) {
 	const microbatches = 64
 	for _, dp := range dps {
 		ngpus := 8 * 8 * dp
-		pipe, err := hyperscalePipeline(e, ngpus/8)
+		pipe, err := hyperscalePipeline(ctx, e, ngpus/8)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func fig12(e *Env) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := pipe.Predict(w, mdl.TrainFLOPsPerIter(globalBatch), hardware.BF16)
+		rep, err := pipe.Predict(ctx, w, mdl.TrainFLOPsPerIter(globalBatch), hardware.BF16)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +102,7 @@ func fig12(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func fig13(e *Env) (*Table, error) {
+func fig13(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Maya stack runtime when scaling cluster size (selective launch)",
@@ -113,7 +114,7 @@ func fig13(e *Env) (*Table, error) {
 		scales = []int{1024, 4096, 16384}
 	}
 	for _, ngpus := range scales {
-		pipe, err := hyperscalePipeline(e, ngpus/8)
+		pipe, err := hyperscalePipeline(ctx, e, ngpus/8)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +127,7 @@ func fig13(e *Env) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := pipe.Predict(w, mdl.TrainFLOPsPerIter(cfg.GlobalBatch), hardware.BF16)
+		rep, err := pipe.Predict(ctx, w, mdl.TrainFLOPsPerIter(cfg.GlobalBatch), hardware.BF16)
 		if err != nil {
 			return nil, err
 		}

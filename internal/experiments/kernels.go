@@ -4,6 +4,7 @@ package experiments
 // the trained runtime estimators on each architecture.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,19 +13,19 @@ import (
 )
 
 func init() {
-	register("table7", func(e *Env) (*Table, error) {
-		return kernelMAPETable(e, "table7", hardware.DGXH100(4), estimator.ProfileLLM)
+	register("table7", func(ctx context.Context, e *Env) (*Table, error) {
+		return kernelMAPETable(ctx, e, "table7", hardware.DGXH100(4), estimator.ProfileLLM)
 	})
-	register("table8", func(e *Env) (*Table, error) {
-		return kernelMAPETable(e, "table8", hardware.DGXV100(2), estimator.ProfileLLM)
+	register("table8", func(ctx context.Context, e *Env) (*Table, error) {
+		return kernelMAPETable(ctx, e, "table8", hardware.DGXV100(2), estimator.ProfileLLM)
 	})
-	register("table9", func(e *Env) (*Table, error) {
-		return kernelMAPETable(e, "table9", hardware.A40Node(), estimator.ProfileVision)
+	register("table9", func(ctx context.Context, e *Env) (*Table, error) {
+		return kernelMAPETable(ctx, e, "table9", hardware.A40Node(), estimator.ProfileVision)
 	})
 }
 
-func kernelMAPETable(e *Env, id string, cluster hardware.Cluster, kind estimator.ProfileKind) (*Table, error) {
-	mape, err := e.MAPE(cluster, kind)
+func kernelMAPETable(ctx context.Context, e *Env, id string, cluster hardware.Cluster, kind estimator.ProfileKind) (*Table, error) {
+	mape, err := e.MAPE(ctx, cluster, kind)
 	if err != nil {
 		return nil, err
 	}

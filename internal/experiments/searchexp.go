@@ -7,6 +7,7 @@ package experiments
 // (pruning-tactic coverage).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -38,19 +39,19 @@ func searchSetups() []setupSpec {
 
 // evaluatorFor builds the search evaluator backed by Maya's pipeline,
 // with per-search stage-time accounting.
-func (e *Env) evaluatorFor(setup setupSpec, opts core.Options, stages *core.StageTimings, mu *sync.Mutex) (search.Evaluator, error) {
-	pipe, err := e.Predictor(setup.cluster, estimator.ProfileLLM)
+func (e *Env) evaluatorFor(ctx context.Context, setup setupSpec, opts core.Options, stages *core.StageTimings, mu *sync.Mutex) (search.Evaluator, error) {
+	pipe, err := e.Predictor(ctx, setup.cluster, estimator.ProfileLLM)
 	if err != nil {
 		return nil, err
 	}
 	p := &core.Pipeline{Cluster: setup.cluster, Suite: pipe.Suite, Opts: opts}
 	flops := setup.model.TrainFLOPsPerIter(setup.globalBatch)
-	return func(cfg framework.MegatronConfig) (search.EvalResult, error) {
+	return func(ctx context.Context, cfg framework.MegatronConfig) (search.EvalResult, error) {
 		w, err := framework.NewMegatron(cfg)
 		if err != nil {
 			return search.EvalResult{}, err
 		}
-		rep, err := p.Predict(w, flops, hardware.BF16)
+		rep, err := p.Predict(ctx, w, flops, hardware.BF16)
 		if err != nil {
 			return search.EvalResult{}, err
 		}
@@ -69,13 +70,14 @@ func (e *Env) evaluatorFor(setup setupSpec, opts core.Options, stages *core.Stag
 }
 
 // searchOutcome runs (and memoizes) one CMA-ES search per setup.
-func (e *Env) searchOutcome(setup setupSpec) (*search.Outcome, error) {
+func (e *Env) searchOutcome(ctx context.Context, setup setupSpec) (*search.Outcome, error) {
 	v, err := e.memo("search/"+setup.name, func() (any, error) {
-		eval, err := e.evaluatorFor(setup, core.Options{SelectiveLaunch: true}, nil, nil)
+		eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		return search.Run(
+			ctx,
 			search.Problem{Model: setup.model, Cluster: setup.cluster, GlobalBatch: setup.globalBatch},
 			eval,
 			search.Options{
@@ -93,13 +95,14 @@ func (e *Env) searchOutcome(setup setupSpec) (*search.Outcome, error) {
 
 // gridOptimum finds the true predicted optimum by exhaustive grid
 // (with caching and pruning, like the paper's reference run).
-func (e *Env) gridOptimum(setup setupSpec) (*search.Outcome, error) {
+func (e *Env) gridOptimum(ctx context.Context, setup setupSpec) (*search.Outcome, error) {
 	v, err := e.memo("grid/"+setup.name, func() (any, error) {
-		eval, err := e.evaluatorFor(setup, core.Options{SelectiveLaunch: true}, nil, nil)
+		eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		return search.Run(
+			ctx,
 			search.Problem{Model: setup.model, Cluster: setup.cluster, GlobalBatch: setup.globalBatch},
 			eval,
 			search.Options{
@@ -116,18 +119,18 @@ func (e *Env) gridOptimum(setup setupSpec) (*search.Outcome, error) {
 	return v.(*search.Outcome), nil
 }
 
-func fig11(e *Env) (*Table, error) {
+func fig11(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Configuration search: runtime and normalized cost vs grid optimum",
 		Header: []string{"setup", "search time", "trials", "best recipe", "best iter", "grid-optimal iter", "norm cost"},
 	}
 	for _, setup := range searchSetups() {
-		out, err := e.searchOutcome(setup)
+		out, err := e.searchOutcome(ctx, setup)
 		if err != nil {
 			return nil, err
 		}
-		grid, err := e.gridOptimum(setup)
+		grid, err := e.gridOptimum(ctx, setup)
 		if err != nil {
 			return nil, err
 		}
@@ -146,14 +149,14 @@ func fig11(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func fig15(e *Env) (*Table, error) {
+func fig15(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig15",
 		Title:  "Trial status breakdown during configuration search",
 		Header: []string{"setup", "executed", "cached", "skipped", "invalid", "skipped frac"},
 	}
 	for _, setup := range searchSetups() {
-		out, err := e.searchOutcome(setup)
+		out, err := e.searchOutcome(ctx, setup)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +175,7 @@ func fig15(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func fig16(e *Env) (*Table, error) {
+func fig16(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig16",
 		Title:  "Search algorithms: best MFU vs unique valid configs sampled",
@@ -188,7 +191,7 @@ func fig16(e *Env) (*Table, error) {
 		for _, algo := range algos {
 			key := fmt.Sprintf("fig16/%s/%s", setup.name, algo)
 			v, err := e.memo(key, func() (any, error) {
-				eval, err := e.evaluatorFor(setup, core.Options{SelectiveLaunch: true}, nil, nil)
+				eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, nil, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -197,6 +200,7 @@ func fig16(e *Env) (*Table, error) {
 					b = search.MegatronSpace().Size()
 				}
 				return search.Run(
+					ctx,
 					search.Problem{Model: setup.model, Cluster: setup.cluster, GlobalBatch: setup.globalBatch},
 					eval,
 					search.Options{Algorithm: algo, Budget: b, Parallel: 8, Seed: 11, EarlyStopWindow: -1})
@@ -229,7 +233,7 @@ func mfuAt(out *search.Outcome, n int) float64 {
 	return best
 }
 
-func table6(e *Env) (*Table, error) {
+func table6(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "table6",
 		Title:  "Search runtime by stage, 32xH100, with and without optimizations",
@@ -258,12 +262,13 @@ func table6(e *Env) (*Table, error) {
 	for _, v := range variants {
 		var stages core.StageTimings
 		var mu sync.Mutex
-		eval, err := e.evaluatorFor(setup, v.opts, &stages, &mu)
+		eval, err := e.evaluatorFor(ctx, setup, v.opts, &stages, &mu)
 		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
 		out, err := search.Run(
+			ctx,
 			search.Problem{Model: setup.model, Cluster: setup.cluster, GlobalBatch: setup.globalBatch},
 			eval, v.sopt)
 		if err != nil && out == nil {
@@ -286,7 +291,7 @@ func table6(e *Env) (*Table, error) {
 	return t, nil
 }
 
-func table10(e *Env) (*Table, error) {
+func table10(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "table10",
 		Title:  "Fidelity-preserving pruning tactics and their skip counts",
@@ -298,7 +303,7 @@ func table10(e *Env) (*Table, error) {
 	}
 	counts := make([]map[string]int, len(setups))
 	for i, setup := range setups {
-		out, err := e.searchOutcome(setup)
+		out, err := e.searchOutcome(ctx, setup)
 		if err != nil {
 			return nil, err
 		}

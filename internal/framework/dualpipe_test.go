@@ -1,6 +1,7 @@
 package framework
 
 import (
+	"context"
 	"testing"
 
 	"maya/internal/collator"
@@ -74,7 +75,7 @@ func TestDualPipeWorkloadRunsAndCollates(t *testing.T) {
 	for r := 0; r < 2; r++ {
 		workers = append(workers, emulate(t, m, r))
 	}
-	if _, err := collator.Collate(workers, collator.Options{Validate: true}); err != nil {
+	if _, err := collator.Collate(context.Background(), workers, collator.Options{Validate: true}); err != nil {
 		t.Fatalf("collation failed: %v", err)
 	}
 	// Rank 0 carries embedding AND head kernels (both pipeline ends).

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,8 +21,9 @@ type EvalResult struct {
 }
 
 // Evaluator runs one trial. Implementations must be safe for
-// concurrent use; Maya's pipeline is.
-type Evaluator func(cfg framework.MegatronConfig) (EvalResult, error)
+// concurrent use; Maya's pipeline is. The evaluator receives the
+// search's ctx and should abort promptly once it is cancelled.
+type Evaluator func(ctx context.Context, cfg framework.MegatronConfig) (EvalResult, error)
 
 // Status classifies how a trial was resolved (Fig. 15).
 type Status int
@@ -128,8 +130,12 @@ type Outcome struct {
 	Stopped    string // why the search ended
 }
 
-// Run executes a configuration search for the problem.
-func Run(p Problem, eval Evaluator, opts Options) (*Outcome, error) {
+// Run executes a configuration search for the problem. Cancelling
+// ctx stops the trial loop: no further generations are issued, the
+// in-flight trials abort through their own ctx observation, and Run
+// returns the partial outcome (Stopped == "cancelled") alongside
+// ctx.Err().
+func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome, error) {
 	opts = opts.withDefaults()
 	space := MegatronSpace()
 	opt, err := newOptimizer(opts.Algorithm, space, opts.Parallel, prand.HashInts(opts.Seed, 0x5ea4c4))
@@ -151,6 +157,10 @@ func Run(p Problem, eval Evaluator, opts Options) (*Outcome, error) {
 	var lastTop []float64
 
 	for sampled < opts.Budget {
+		if ctx.Err() != nil {
+			out.Stopped = "cancelled"
+			break
+		}
 		gen := opt.generation()
 		if len(gen) == 0 {
 			out.Stopped = "space exhausted"
@@ -198,7 +208,11 @@ func Run(p Problem, eval Evaluator, opts Options) (*Outcome, error) {
 		}
 
 		// Concurrent trials for the unresolved candidates.
-		if err := runTrials(eval, results, needEval, opts.Parallel); err != nil {
+		if err := runTrials(ctx, eval, results, needEval, opts.Parallel); err != nil {
+			if ctx.Err() != nil {
+				out.Stopped = "cancelled"
+				break
+			}
 			return nil, err
 		}
 		for _, i := range needEval {
@@ -245,6 +259,9 @@ func Run(p Problem, eval Evaluator, opts Options) (*Outcome, error) {
 		out.Stopped = "budget exhausted"
 	}
 	out.Elapsed = time.Since(start)
+	if out.Stopped == "cancelled" {
+		return out, ctx.Err()
+	}
 	if out.Best == nil {
 		return out, fmt.Errorf("search: no valid configuration found in %d samples", sampled)
 	}
@@ -260,7 +277,7 @@ func applyTactics(tactics []Tactic, k Knobs, h *history) (derived, string, bool)
 	return derived{}, "", false
 }
 
-func runTrials(eval Evaluator, results []*Result, idx []int, parallel int) error {
+func runTrials(ctx context.Context, eval Evaluator, results []*Result, idx []int, parallel int) error {
 	sem := make(chan struct{}, parallel)
 	errs := make([]error, len(idx))
 	var wg sync.WaitGroup
@@ -268,10 +285,19 @@ func runTrials(eval Evaluator, results []*Result, idx []int, parallel int) error
 		wg.Add(1)
 		go func(n, i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[n] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[n] = err
+				return
+			}
 			r := results[i]
-			ev, err := eval(r.Config)
+			ev, err := eval(ctx, r.Config)
 			if err != nil {
 				errs[n] = fmt.Errorf("search: trial %s: %w", r.Knobs, err)
 				return

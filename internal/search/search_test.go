@@ -1,6 +1,9 @@
 package search
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -70,7 +73,7 @@ func TestProblemBuildConstraints(t *testing.T) {
 
 // syntheticEval scores configs analytically so optimizer behavior can
 // be tested quickly: a known optimum plus OOM region.
-func syntheticEval(cfg framework.MegatronConfig) (EvalResult, error) {
+func syntheticEval(_ context.Context, cfg framework.MegatronConfig) (EvalResult, error) {
 	// Optimum at tp=2, pp=4; penalty grows with distance.
 	score := 1.0
 	score += 0.3 * abs(cfg.TP-2)
@@ -102,7 +105,7 @@ func testProblem() Problem {
 
 func TestSearchFindsGoodConfigs(t *testing.T) {
 	for _, algo := range []string{"cma", "random", "oneplusone", "pso", "twopointsde"} {
-		out, err := Run(testProblem(), syntheticEval, Options{
+		out, err := Run(context.Background(), testProblem(), syntheticEval, Options{
 			Algorithm: algo, Budget: 300, Parallel: 8, Seed: 3, EarlyStopWindow: -1,
 		})
 		if err != nil {
@@ -119,7 +122,7 @@ func TestSearchFindsGoodConfigs(t *testing.T) {
 }
 
 func TestGridFindsExactOptimum(t *testing.T) {
-	out, err := Run(testProblem(), syntheticEval, Options{
+	out, err := Run(context.Background(), testProblem(), syntheticEval, Options{
 		Algorithm: "grid", Budget: MegatronSpace().Size(), Parallel: 8, EarlyStopWindow: -1,
 	})
 	if err != nil {
@@ -135,12 +138,12 @@ func TestGridFindsExactOptimum(t *testing.T) {
 }
 
 func TestCachingAvoidsReevaluation(t *testing.T) {
-	evals := 0
-	counting := func(cfg framework.MegatronConfig) (EvalResult, error) {
-		evals++
-		return syntheticEval(cfg)
+	var evals atomic.Int64
+	counting := func(ctx context.Context, cfg framework.MegatronConfig) (EvalResult, error) {
+		evals.Add(1)
+		return syntheticEval(ctx, cfg)
 	}
-	out, err := Run(testProblem(), counting, Options{
+	out, err := Run(context.Background(), testProblem(), counting, Options{
 		Algorithm: "random", Budget: 800, Parallel: 4, Seed: 5, EarlyStopWindow: -1, DisablePruning: true,
 	})
 	if err != nil {
@@ -149,19 +152,19 @@ func TestCachingAvoidsReevaluation(t *testing.T) {
 	if out.Stats.Cached == 0 {
 		t.Fatal("800 random samples of a 1920-point space should repeat")
 	}
-	if evals != out.Stats.Executed {
-		t.Fatalf("evaluator ran %d times, stats say %d", evals, out.Stats.Executed)
+	if int(evals.Load()) != out.Stats.Executed {
+		t.Fatalf("evaluator ran %d times, stats say %d", evals.Load(), out.Stats.Executed)
 	}
 }
 
 func TestPruningSkipsAndPreservesBest(t *testing.T) {
-	withPruning, err := Run(testProblem(), syntheticEval, Options{
+	withPruning, err := Run(context.Background(), testProblem(), syntheticEval, Options{
 		Algorithm: "grid", Budget: MegatronSpace().Size(), Parallel: 8, EarlyStopWindow: -1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withoutPruning, err := Run(testProblem(), syntheticEval, Options{
+	withoutPruning, err := Run(context.Background(), testProblem(), syntheticEval, Options{
 		Algorithm: "grid", Budget: MegatronSpace().Size(), Parallel: 8, EarlyStopWindow: -1, DisablePruning: true,
 	})
 	if err != nil {
@@ -182,7 +185,7 @@ func TestPruningSkipsAndPreservesBest(t *testing.T) {
 }
 
 func TestEarlyStopping(t *testing.T) {
-	out, err := Run(testProblem(), syntheticEval, Options{
+	out, err := Run(context.Background(), testProblem(), syntheticEval, Options{
 		Algorithm: "random", Budget: 100000, Parallel: 8, Seed: 5, EarlyStopWindow: 20,
 	})
 	if err != nil {
@@ -197,7 +200,7 @@ func TestEarlyStopping(t *testing.T) {
 }
 
 func TestTrajectoryMonotone(t *testing.T) {
-	out, err := Run(testProblem(), syntheticEval, Options{
+	out, err := Run(context.Background(), testProblem(), syntheticEval, Options{
 		Algorithm: "cma", Budget: 200, Parallel: 8, Seed: 9, EarlyStopWindow: -1,
 	})
 	if err != nil {
@@ -249,5 +252,64 @@ func TestCMABeatsRandomOnQuadratic(t *testing.T) {
 	}
 	if cma > 0.01 {
 		t.Fatalf("CMA-ES best %v did not converge", cma)
+	}
+}
+
+func TestSearchCancellationStopsTrials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	release := make(chan struct{})
+	counting := func(ctx context.Context, cfg framework.MegatronConfig) (EvalResult, error) {
+		evals.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return EvalResult{}, ctx.Err()
+		}
+		return syntheticEval(ctx, cfg)
+	}
+	done := make(chan struct{})
+	var out *Outcome
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Run(ctx, testProblem(), counting, Options{
+			Algorithm: "random", Budget: 1000, Parallel: 4, Seed: 1, EarlyStopWindow: -1,
+		})
+	}()
+	// Let a few trials start, then cancel while they are blocked.
+	for evals.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("search did not stop after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search: err = %v, want context.Canceled", err)
+	}
+	if out == nil || out.Stopped != "cancelled" {
+		t.Fatalf("outcome = %+v, want Stopped == cancelled", out)
+	}
+	// No further trials may be issued after cancellation settles.
+	settled := evals.Load()
+	close(release)
+	time.Sleep(20 * time.Millisecond)
+	if after := evals.Load(); after != settled {
+		t.Fatalf("search kept issuing trials after cancel: %d -> %d", settled, after)
+	}
+}
+
+func TestSearchPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Run(ctx, testProblem(), syntheticEval, Options{Algorithm: "random", Budget: 50, Parallel: 2, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Stats.Executed != 0 {
+		t.Fatalf("pre-cancelled search executed %d trials", out.Stats.Executed)
 	}
 }

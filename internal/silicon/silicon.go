@@ -22,6 +22,7 @@
 package silicon
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -419,8 +420,9 @@ func (o *Oracle) Measure(op *trace.Op, ranks []int, sampleID int64) time.Duratio
 // job. comms maps communicator IDs to the ordered global ranks of
 // their members and sizes to their declared sizes (both from the
 // collator); membership left partial by deduplication is expanded by
-// stride so collective topology stays truthful.
-func (o *Oracle) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint64]int) {
+// stride so collective topology stays truthful. Cancellation of ctx
+// is observed between workers.
+func (o *Oracle) Annotate(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int) error {
 	world := 0
 	for _, w := range job.Workers {
 		if w.World > world {
@@ -428,6 +430,9 @@ func (o *Oracle) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint
 		}
 	}
 	for _, w := range job.Workers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := range w.Ops {
 			op := &w.Ops[i]
 			switch op.Kind {
@@ -445,6 +450,7 @@ func (o *Oracle) Annotate(job *trace.Job, comms map[uint64][]int, sizes map[uint
 			}
 		}
 	}
+	return nil
 }
 
 // PhysicalOptions returns the simulator options for "actual"
@@ -461,8 +467,11 @@ func PhysicalOptions(seed uint64, participants map[trace.CollKey]int) sim.Option
 
 // MeasureActual is "deploy the job on the cluster and time it": the
 // trace is annotated with ground truth and replayed in physical mode.
-func MeasureActual(job *trace.Job, oracle *Oracle, comms map[uint64][]int, sizes map[uint64]int, participants map[trace.CollKey]int, seed uint64) (*sim.Report, error) {
+// Cancelling ctx aborts both the annotation and the replay.
+func MeasureActual(ctx context.Context, job *trace.Job, oracle *Oracle, comms map[uint64][]int, sizes map[uint64]int, participants map[trace.CollKey]int, seed uint64) (*sim.Report, error) {
 	actual := job.Clone()
-	oracle.Annotate(actual, comms, sizes)
-	return sim.Run(actual, PhysicalOptions(seed, participants))
+	if err := oracle.Annotate(ctx, actual, comms, sizes); err != nil {
+		return nil, err
+	}
+	return sim.Run(ctx, actual, PhysicalOptions(seed, participants))
 }

@@ -1,6 +1,7 @@
 package silicon
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -143,7 +144,7 @@ func TestAnnotateFillsDeviceWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := NewOracle(hardware.DGXH100(1), DefaultSeed)
-	o.Annotate(job, map[uint64][]int{5: {0, 1}}, map[uint64]int{5: 2})
+	o.Annotate(context.Background(), job, map[uint64][]int{5: {0, 1}}, map[uint64]int{5: 2})
 	if job.Workers[0].Ops[0].Dur == 0 {
 		t.Fatal("kernel not annotated")
 	}
@@ -164,7 +165,7 @@ func TestAnnotateExpandsPartialMembership(t *testing.T) {
 		Op: "ncclAllReduce", CommID: 5, Seq: 0, NRanks: 4, Rank: 0, Peer: -1, Bytes: 1 << 26}})
 	job, _ := trace.NewJob([]*trace.Worker{w})
 	o := NewOracle(hardware.DGXV100(2), DefaultSeed)
-	o.Annotate(job, map[uint64][]int{5: {0}}, map[uint64]int{5: 4})
+	o.Annotate(context.Background(), job, map[uint64][]int{5: {0}}, map[uint64]int{5: 4})
 	got := job.Workers[0].Ops[0].Dur
 	want := o.CollectiveTime("ncclAllReduce", 1<<26, []int{0, 4, 8, 12})
 	if got != want {

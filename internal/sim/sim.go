@@ -27,6 +27,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -57,10 +58,12 @@ type Options struct {
 
 // Run simulates the job and returns its report. It fails if the
 // trace deadlocks (mismatched collectives or waits), which indicates
-// an invalid workload rather than a simulator bug.
-func Run(job *trace.Job, opts Options) (*Report, error) {
+// an invalid workload rather than a simulator bug. The event loop
+// observes ctx: a cancelled simulation stops promptly and returns
+// ctx.Err().
+func Run(ctx context.Context, job *trace.Job, opts Options) (*Report, error) {
 	e := newEngine(job, opts)
-	return e.run()
+	return e.run(ctx)
 }
 
 type eventKey struct {
@@ -246,12 +249,24 @@ func (e *engine) stream(w int, id int64) *streamState {
 	return st
 }
 
-func (e *engine) run() (*Report, error) {
+// ctxCheckEvery bounds how many events run between cancellation
+// checks: large enough to keep the hot loop branch-cheap, small
+// enough that cancelled simulations return within milliseconds.
+const ctxCheckEvery = 1 << 13
+
+func (e *engine) run(ctx context.Context) (*Report, error) {
 	for _, h := range e.hosts {
 		hh := h
 		e.schedule(0, func() { e.runHost(hh) })
 	}
+	var processed int
 	for e.pq.Len() > 0 {
+		if processed%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		processed++
 		ev := heap.Pop(&e.pq).(simEvent)
 		e.now = ev.t
 		ev.fn()

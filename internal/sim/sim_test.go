@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -42,11 +44,20 @@ func coll(stream int64, comm uint64, seq, nranks, rank int, dur time.Duration) t
 
 func mustRun(t *testing.T, j *trace.Job, opts Options) *Report {
 	t.Helper()
-	r, err := Run(j, opts)
+	r, err := Run(context.Background(), j, opts)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	return r
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	w := worker(0, 1, kernel(0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, job(t, w), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx: err = %v, want context.Canceled", err)
+	}
 }
 
 func TestSequentialKernelsSingleStream(t *testing.T) {
@@ -250,7 +261,7 @@ func TestDeadlockDetection(t *testing.T) {
 	w0 := worker(0, 2, coll(0, 1, 0, 2, 0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
 	w1 := worker(1, 2, kernel(0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
 	j := job(t, w0, w1)
-	_, err := Run(j, Options{Participants: map[trace.CollKey]int{
+	_, err := Run(context.Background(), j, Options{Participants: map[trace.CollKey]int{
 		{Comm: 1, Seq: 0}: 2,
 	}})
 	if err == nil {

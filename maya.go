@@ -8,19 +8,28 @@
 // This is the public facade over the full pipeline (device emulation,
 // trace collation, learned kernel-runtime estimation, discrete-event
 // cluster simulation) plus Maya-Search, the configuration-search
-// system built on top. See DESIGN.md for the architecture and
-// EXPERIMENTS.md for the reproduced evaluation.
+// system built on top. See DESIGN.md for the architecture, the
+// context/request API contract, the estimator-cache lifecycle and the
+// reproduced-experiment index.
+//
+// Every entry point takes a context.Context and observes
+// cancellation through all pipeline stages, so long emulations and
+// searches can be deadlined or aborted. Expensive estimator training
+// is memoized in an EstimatorCache; predictors resolve their suite
+// lazily on first use, or eagerly via EstimatorCache.Warm.
 //
 // Quickstart:
 //
-//	cluster := maya.ClusterByName("32xH100")
+//	cluster, _ := maya.ClusterByName("32xH100")
 //	pred, _ := maya.NewPredictor(cluster, maya.ProfileLLM)
 //	w, _ := maya.NewMegatron(maya.MegatronConfig{ ... })
-//	report, _ := pred.Predict(w, flops, maya.BF16)
+//	report, _ := pred.Predict(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 //	fmt.Println(report.IterTime, report.MFU)
 package maya
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"maya/internal/core"
@@ -48,6 +57,8 @@ type (
 	Report = core.Report
 	// StageTimings breaks down pipeline wall-clock per stage.
 	StageTimings = core.StageTimings
+	// CacheStats is a snapshot of EstimatorCache accounting.
+	CacheStats = core.CacheStats
 	// MegatronConfig is a Megatron-LM style training recipe.
 	MegatronConfig = framework.MegatronConfig
 	// DataParallelConfig is a DDP/ZeRO/FSDP training job.
@@ -120,46 +131,72 @@ var (
 )
 
 // Predictor predicts workload performance on one cluster. It is safe
-// for concurrent use.
+// for concurrent use: the trained estimator suite is shared across
+// calls and goroutines.
+//
+// Construction is cheap. The suite is resolved from the predictor's
+// EstimatorCache on the first call that needs it (training on a cache
+// miss); use EstimatorCache.Warm to pay that cost eagerly. Calls that
+// annotate with the ground-truth oracle (MeasureActual, or Predict
+// under WithOracleAnnotation) never require a trained suite.
 type Predictor struct {
-	pipeline *core.Pipeline
-	oracle   *silicon.Oracle
+	cluster hardware.Cluster
+	kind    ProfileKind
+	opts    core.Options
+	cache   *EstimatorCache
+	netsim  bool
+	oracle  *silicon.Oracle
+}
+
+// predictorConfig collects NewPredictor options.
+type predictorConfig struct {
+	opts  core.Options
+	cache *EstimatorCache
 }
 
 // PredictorOption customizes construction.
-type PredictorOption func(*core.Options)
+type PredictorOption func(*predictorConfig)
 
 // WithoutDedup disables worker deduplication (every rank is emulated
 // and simulated).
 func WithoutDedup() PredictorOption {
-	return func(o *core.Options) { o.NoDedup = true }
+	return func(c *predictorConfig) { c.opts.NoDedup = true }
 }
 
-// WithValidation enables cross-worker collective consistency checks.
+// WithValidation enables cross-worker collective consistency checks
+// on every call of the predictor.
 func WithValidation() PredictorOption {
-	return func(o *core.Options) { o.Validate = true }
+	return func(c *predictorConfig) { c.opts.Validate = true }
 }
 
-// NewPredictor trains (or reuses cached) kernel estimators for the
-// cluster and returns a ready predictor. The first call per cluster
-// profiles microbenchmarks and trains the random forests; subsequent
-// calls reuse them.
+// WithEstimatorCache injects the cache the predictor resolves its
+// estimator suite from. Predictors without it share
+// DefaultEstimatorCache.
+func WithEstimatorCache(cache *EstimatorCache) PredictorOption {
+	return func(c *predictorConfig) { c.cache = cache }
+}
+
+// NewPredictor returns a predictor for the cluster. Construction
+// validates the cluster but does not train: kernel estimators are
+// resolved from the estimator cache on first use (see EstimatorCache
+// and its Warm method for eager training).
 func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*Predictor, error) {
 	if err := cluster.Validate(); err != nil {
 		return nil, err
 	}
-	oracle := core.DefaultOracle(cluster)
-	suite, _, err := core.SuiteFor(cluster, oracle, kind)
-	if err != nil {
-		return nil, fmt.Errorf("maya: training estimators: %w", err)
+	cfg := predictorConfig{
+		opts:  core.Options{SelectiveLaunch: true},
+		cache: DefaultEstimatorCache(),
 	}
-	o := core.Options{SelectiveLaunch: true}
 	for _, opt := range opts {
-		opt(&o)
+		opt(&cfg)
 	}
 	return &Predictor{
-		pipeline: &core.Pipeline{Cluster: cluster, Suite: suite, Opts: o},
-		oracle:   oracle,
+		cluster: cluster,
+		kind:    kind,
+		opts:    cfg.opts,
+		cache:   cfg.cache,
+		oracle:  core.DefaultOracle(cluster),
 	}, nil
 }
 
@@ -168,30 +205,135 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 // profiled curves — required beyond profiled cluster scales.
 func (p *Predictor) WithNetworkSimulator() *Predictor {
 	return &Predictor{
-		pipeline: &core.Pipeline{
-			Cluster: p.pipeline.Cluster,
-			Suite:   p.pipeline.Suite.WithCollectiveEstimator(netsim.New(p.pipeline.Cluster)),
-			Opts:    p.pipeline.Opts,
-		},
-		oracle: p.oracle,
+		cluster: p.cluster,
+		kind:    p.kind,
+		opts:    p.opts,
+		cache:   p.cache,
+		netsim:  true,
+		oracle:  p.oracle,
 	}
 }
 
-// Predict runs the full Maya pipeline for the workload. modelFLOPs is
-// the per-iteration model FLOP count used for MFU (0 skips MFU);
-// dtype is the training precision whose peak throughput MFU is
-// normalized by.
-func (p *Predictor) Predict(w Workload, modelFLOPs float64, dtype DType) (*Report, error) {
-	return p.pipeline.Predict(w, modelFLOPs, dtype)
+// Cluster returns the predictor's target cluster.
+func (p *Predictor) Cluster() Cluster { return p.cluster }
+
+// predictSettings are the per-call knobs of Predict/MeasureActual.
+type predictSettings struct {
+	flops    float64
+	dtype    DType
+	oracle   bool
+	validate *bool
+	memo     *estimator.KernelMemo // batch-shared estimate memo
+}
+
+// PredictOption customizes one Predict, MeasureActual or batch
+// request.
+type PredictOption func(*predictSettings)
+
+// WithModelFLOPs supplies the per-iteration model FLOP count used for
+// MFU. Without it MFU is skipped.
+func WithModelFLOPs(flops float64) PredictOption {
+	return func(s *predictSettings) { s.flops = flops }
+}
+
+// WithDType sets the training precision whose peak throughput MFU is
+// normalized by. BF16 is the default.
+func WithDType(dt DType) PredictOption {
+	return func(s *predictSettings) { s.dtype = dt }
+}
+
+// WithOracleAnnotation makes this call annotate kernels with
+// ground-truth runtimes instead of learned estimates — the "oracle"
+// rows of Table 3. Such calls need no trained estimator suite.
+func WithOracleAnnotation() PredictOption {
+	return func(s *predictSettings) { s.oracle = true }
+}
+
+// WithValidationOverride enables or disables cross-worker collective
+// consistency checks for this call only, overriding the predictor's
+// WithValidation construction default.
+func WithValidationOverride(on bool) PredictOption {
+	return func(s *predictSettings) { s.validate = &on }
+}
+
+func applyPredictOptions(opts []PredictOption) predictSettings {
+	s := predictSettings{dtype: BF16}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// resolveSuite returns the predictor's trained estimator suite,
+// consulting the cache on every call (a hit is a cheap locked map
+// lookup) so that Evict/Purge on the cache take effect for live
+// predictors: the next call after an eviction retrains.
+func (p *Predictor) resolveSuite(ctx context.Context) (*estimator.Suite, error) {
+	suite, _, err := p.cache.impl.SuiteFor(ctx, p.cluster, p.oracle, p.kind)
+	if err != nil {
+		return nil, fmt.Errorf("maya: training estimators: %w", err)
+	}
+	if p.netsim {
+		suite = suite.WithCollectiveEstimator(netsim.New(p.cluster))
+	}
+	return suite, nil
+}
+
+// pipelineFor builds the per-call pipeline view: shared cluster and
+// suite, per-call option overrides.
+func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.Pipeline, error) {
+	opts := p.opts
+	if s.oracle {
+		opts.Oracle = p.oracle
+	}
+	if s.validate != nil {
+		opts.Validate = *s.validate
+	}
+	opts.Memo = s.memo
+	var suite *estimator.Suite
+	if !s.oracle {
+		var err error
+		suite, err = p.resolveSuite(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &core.Pipeline{Cluster: p.cluster, Suite: suite, Opts: opts}, nil
+}
+
+// Predict runs the full Maya pipeline for the workload. Cancellation
+// of ctx is observed by every stage — emulation, collation,
+// estimation and simulation — so a large multi-rank prediction
+// aborts promptly and returns ctx.Err().
+func (p *Predictor) Predict(ctx context.Context, w Workload, opts ...PredictOption) (*Report, error) {
+	if w == nil {
+		return nil, errors.New("maya: Predict of a nil workload")
+	}
+	return p.predict(ctx, w, applyPredictOptions(opts))
+}
+
+func (p *Predictor) predict(ctx context.Context, w Workload, s predictSettings) (*Report, error) {
+	pipe, err := p.pipelineFor(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return pipe.Predict(ctx, w, s.flops, s.dtype)
 }
 
 // MeasureActual times the workload on the bundled synthetic silicon —
 // the stand-in for deploying on real hardware that all accuracy
 // experiments compare against. On a real deployment this would be
-// replaced by running the job.
-func (p *Predictor) MeasureActual(w Workload, modelFLOPs float64, dtype DType) (*Report, error) {
-	return p.pipeline.MeasureActual(w, p.oracle, modelFLOPs, dtype)
+// replaced by running the job. It needs no trained estimators and
+// observes ctx the same way Predict does.
+func (p *Predictor) MeasureActual(ctx context.Context, w Workload, opts ...PredictOption) (*Report, error) {
+	if w == nil {
+		return nil, errors.New("maya: MeasureActual of a nil workload")
+	}
+	s := applyPredictOptions(opts)
+	opt := p.opts
+	if s.validate != nil {
+		opt.Validate = *s.validate
+	}
+	pipe := &core.Pipeline{Cluster: p.cluster, Opts: opt}
+	return pipe.MeasureActual(ctx, w, p.oracle, s.flops, s.dtype)
 }
-
-// Cluster returns the predictor's target cluster.
-func (p *Predictor) Cluster() Cluster { return p.pipeline.Cluster }

@@ -1,6 +1,7 @@
 package maya_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,6 +12,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains estimators")
 	}
+	ctx := context.Background()
 	cluster := maya.DGXV100(1)
 	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
 	if err != nil {
@@ -24,7 +26,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	flops := model.TrainFLOPsPerIter(32)
-	rep, err := pred.Predict(w, flops, maya.BF16)
+	rep, err := pred.Predict(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	if rep.IterTime <= 0 || rep.MFU <= 0 || rep.MFU > 1 || rep.PeakMemBytes <= 0 {
 		t.Fatalf("implausible report: %+v", rep)
 	}
-	actual, err := pred.MeasureActual(w, flops, maya.BF16)
+	actual, err := pred.MeasureActual(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,9 +65,13 @@ func TestPublicSearchFlow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a search")
 	}
-	out, err := maya.FindRecipe(
-		maya.SearchProblem{Model: maya.GPT3_1_3B(), Cluster: maya.DGXV100(1), GlobalBatch: 32},
-		maya.ProfileLLM,
+	ctx := context.Background()
+	pred, err := maya.NewPredictor(maya.DGXV100(1), maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pred.FindRecipe(ctx,
+		maya.SearchProblem{Model: maya.GPT3_1_3B(), GlobalBatch: 32},
 		maya.SearchOptions{Algorithm: "cma", Budget: 60, Parallel: 4, Seed: 3},
 	)
 	if err != nil {
@@ -79,10 +85,25 @@ func TestPublicSearchFlow(t *testing.T) {
 	}
 }
 
+func TestFindRecipeClusterMismatch(t *testing.T) {
+	pred, err := maya.NewPredictor(maya.DGXV100(1), maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pred.FindRecipe(context.Background(),
+		maya.SearchProblem{Model: maya.GPT3_1_3B(), Cluster: maya.DGXH100(4), GlobalBatch: 32},
+		maya.SearchOptions{Budget: 10},
+	)
+	if err == nil {
+		t.Fatal("FindRecipe accepted a problem targeting a different cluster")
+	}
+}
+
 func TestNetworkSimulatorPlugIn(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains estimators")
 	}
+	ctx := context.Background()
 	cluster := maya.DGXH100(16) // 128 GPUs: beyond profiled collectives
 	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
 	if err != nil {
@@ -97,11 +118,58 @@ func TestNetworkSimulatorPlugIn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := pred.Predict(w, model.TrainFLOPsPerIter(256), maya.BF16)
+	rep, err := pred.Predict(ctx, w,
+		maya.WithModelFLOPs(model.TrainFLOPsPerIter(256)), maya.WithDType(maya.BF16))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.OOM || rep.IterTime <= 0 {
 		t.Fatalf("hyperscale prediction failed: %+v", rep)
+	}
+}
+
+func TestEstimatorCacheLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains estimators")
+	}
+	ctx := context.Background()
+	cache := maya.NewEstimatorCache()
+	cluster := maya.DGXV100(1)
+	if err := cache.Warm(ctx, cluster, maya.ProfileLLM); err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	s := cache.Stats()
+	if s.Trained != 1 || s.Entries != 1 {
+		t.Fatalf("after Warm: %+v", s)
+	}
+
+	// A predictor wired to the warmed cache predicts without training.
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithEstimatorCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := maya.GPT3_1_3B()
+	w, err := maya.NewMegatron(maya.MegatronConfig{
+		Model: model, NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Predict(ctx, w); err != nil {
+		t.Fatal(err)
+	}
+	s = cache.Stats()
+	if s.Trained != 1 {
+		t.Fatalf("prediction retrained despite warm cache: %+v", s)
+	}
+	if s.Hits == 0 {
+		t.Fatalf("warm prediction did not hit the cache: %+v", s)
+	}
+
+	if !cache.Evict(cluster, maya.ProfileLLM) {
+		t.Fatal("Evict found nothing")
+	}
+	if s := cache.Stats(); s.Entries != 0 || s.Evictions != 1 {
+		t.Fatalf("after Evict: %+v", s)
 	}
 }

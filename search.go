@@ -1,9 +1,10 @@
 package maya
 
 import (
-	"maya/internal/core"
+	"context"
+	"fmt"
+
 	"maya/internal/framework"
-	"maya/internal/hardware"
 	"maya/internal/search"
 )
 
@@ -23,23 +24,34 @@ type (
 func MegatronSearchSpace() search.Space { return search.MegatronSpace() }
 
 // FindRecipe searches for the lowest-iteration-time training recipe
-// for a model on a cluster, evaluating candidates through Maya's
-// emulation pipeline (no GPUs involved). This is the ~15-line
-// integration the paper describes, packaged as one call.
-func FindRecipe(p SearchProblem, kind ProfileKind, opts SearchOptions) (*SearchOutcome, error) {
-	oracle := core.DefaultOracle(p.Cluster)
-	suite, _, err := core.SuiteFor(p.Cluster, oracle, kind)
+// for a model on the predictor's cluster, evaluating candidates
+// through the predictor's own emulation pipeline (no GPUs involved)
+// — so the search reuses the already-trained estimator suite instead
+// of re-resolving one per call. This is the ~15-line integration the
+// paper describes, packaged as one call.
+//
+// problem.Cluster may be left zero to mean the predictor's cluster; a
+// conflicting cluster is an error. Cancelling ctx stops the search
+// mid-trial-loop: no further trials are issued, and the partial
+// outcome is returned alongside ctx.Err().
+func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts SearchOptions) (*SearchOutcome, error) {
+	if problem.Cluster.Name == "" {
+		problem.Cluster = p.cluster
+	} else if problem.Cluster.Name != p.cluster.Name {
+		return nil, fmt.Errorf("maya: FindRecipe problem targets %s but the predictor models %s",
+			problem.Cluster.Name, p.cluster.Name)
+	}
+	pipe, err := p.pipelineFor(ctx, applyPredictOptions(nil))
 	if err != nil {
 		return nil, err
 	}
-	pipe := &core.Pipeline{Cluster: p.Cluster, Suite: suite, Opts: core.Options{SelectiveLaunch: true}}
-	flops := p.Model.TrainFLOPsPerIter(p.GlobalBatch)
-	eval := func(cfg framework.MegatronConfig) (search.EvalResult, error) {
+	flops := problem.Model.TrainFLOPsPerIter(problem.GlobalBatch)
+	eval := func(ctx context.Context, cfg framework.MegatronConfig) (search.EvalResult, error) {
 		w, err := framework.NewMegatron(cfg)
 		if err != nil {
 			return search.EvalResult{}, err
 		}
-		rep, err := pipe.Predict(w, flops, hardware.BF16)
+		rep, err := pipe.Predict(ctx, w, flops, BF16)
 		if err != nil {
 			return search.EvalResult{}, err
 		}
@@ -47,5 +59,5 @@ func FindRecipe(p SearchProblem, kind ProfileKind, opts SearchOptions) (*SearchO
 			OOM: rep.OOM, IterTime: rep.IterTime, MFU: rep.MFU, PeakMem: rep.PeakMemBytes,
 		}, nil
 	}
-	return search.Run(p, eval, opts)
+	return search.Run(ctx, problem, eval, opts)
 }
