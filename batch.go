@@ -3,9 +3,11 @@ package maya
 import (
 	"context"
 	"errors"
+	"reflect"
 	"runtime"
 	"sync"
 
+	"maya/internal/core"
 	"maya/internal/estimator"
 )
 
@@ -42,10 +44,68 @@ func WithBatchConcurrency(n int) BatchOption {
 	return func(c *batchConfig) { c.concurrency = n }
 }
 
+// captureKey identifies requests that can share one capture: same
+// workload value and same capture-relevant settings (collation
+// validation, silicon seed). Annotation knobs — oracle, netsim,
+// physical replay, FLOPs — do not affect the capture and may differ
+// freely within a group.
+type captureKey struct {
+	w        Workload
+	validate bool
+	seed     uint64
+}
+
+// sharedCapture captures once on first demand; later requests in the
+// group wait for (or reuse) the same artifact.
+type sharedCapture struct {
+	once sync.Once
+	cap  *core.Capture
+	err  error
+}
+
+// get returns the group's capture, running it if nobody has yet.
+// paid reports whether THIS call performed the capture — exactly one
+// request per group pays, and only its report carries the capture's
+// emulate/collate stage timings.
+func (sc *sharedCapture) get(ctx context.Context, p *Predictor, w Workload, s predictSettings) (cap *core.Capture, paid bool, err error) {
+	sc.once.Do(func() {
+		sc.cap, sc.err = p.capturePipeline(s).Capture(ctx, w)
+		paid = true
+	})
+	return sc.cap, paid, sc.err
+}
+
+// batchCaptureKey builds the sharing key for a request, reporting
+// ok=false for workload values that cannot be map keys. The check is
+// on the value, not just the type: an otherwise-comparable workload
+// holding a non-comparable value in an interface field would panic
+// the map insert.
+func (p *Predictor) batchCaptureKey(w Workload, s predictSettings) (captureKey, bool) {
+	if v := reflect.ValueOf(w); !v.IsValid() || !v.Comparable() {
+		return captureKey{}, false
+	}
+	k := captureKey{w: w, validate: p.opts.Validate, seed: p.opts.Seed}
+	if s.validate != nil {
+		k.validate = *s.validate
+	}
+	if s.seed != nil {
+		k.seed = *s.seed
+	}
+	return k, true
+}
+
 // PredictBatch evaluates many workloads through a bounded worker pool
 // sharing one trained estimator suite — the primitive for scenario
 // sweeps ("these 500 candidate deployments, tonight") and request
 // serving. Results are positional: results[i] answers reqs[i].
+//
+// Requests that evaluate the same workload value (with the same
+// capture-relevant settings) share one capture: the emulate and
+// collate stages run once and every variant — learned, oracle,
+// netsim, physical replay — simulates from the same Trace artifact.
+// A shared kernel-estimate memo additionally spans the whole batch,
+// so sweep configurations of one model skip forest inference their
+// predecessors already did.
 //
 // Per-request failures are isolated in their BatchResult. The
 // returned error is non-nil only when the whole batch is doomed —
@@ -67,20 +127,37 @@ func (p *Predictor) PredictBatch(ctx context.Context, reqs []Request, opts ...Ba
 	}
 
 	// Resolve the shared suite once, up front, unless every request
-	// annotates with the oracle: workers must never race into
+	// annotates with ground truth: workers must never race into
 	// training, and a batch doomed by a failing (or cancelled)
 	// training should fail before any emulation starts.
 	for _, r := range reqs {
-		if r.Workload == nil || applyPredictOptions(r.Options).oracle {
+		s := applyPredictOptions(r.Options)
+		if r.Workload == nil || s.oracle || s.physical {
 			continue
 		}
-		if _, err := p.resolveSuite(ctx); err != nil {
+		if _, err := p.resolveSuite(ctx, s); err != nil {
 			for i := range results {
 				results[i] = BatchResult{Err: err}
 			}
 			return results, err
 		}
 		break
+	}
+
+	// Group requests that can reuse one capture. Building an entry per
+	// distinct (workload, capture-settings) key costs nothing for
+	// singletons — their capture path equals Predict's — and turns
+	// repeated workloads into a single emulate+collate.
+	shared := make(map[captureKey]*sharedCapture)
+	for _, r := range reqs {
+		if r.Workload == nil {
+			continue
+		}
+		if k, ok := p.batchCaptureKey(r.Workload, applyPredictOptions(r.Options)); ok {
+			if shared[k] == nil {
+				shared[k] = &sharedCapture{}
+			}
+		}
 	}
 
 	workers := cfg.concurrency
@@ -105,8 +182,7 @@ func (p *Predictor) PredictBatch(ctx context.Context, reqs []Request, opts ...Ba
 				}
 				s := applyPredictOptions(r.Options)
 				s.memo = memo
-				rep, err := p.predict(ctx, r.Workload, s)
-				results[i] = BatchResult{Report: rep, Err: err}
+				results[i] = p.evalBatchRequest(ctx, r.Workload, s, shared)
 			}
 		}()
 	}
@@ -131,4 +207,27 @@ feed:
 		return results, err
 	}
 	return results, nil
+}
+
+// evalBatchRequest runs one request, reusing the group capture when
+// the workload is shareable.
+func (p *Predictor) evalBatchRequest(ctx context.Context, w Workload, s predictSettings, shared map[captureKey]*sharedCapture) BatchResult {
+	k, ok := p.batchCaptureKey(w, s)
+	if !ok || shared[k] == nil {
+		rep, err := p.predict(ctx, w, s)
+		return BatchResult{Report: rep, Err: err}
+	}
+	c, paid, err := shared[k].get(ctx, p, w, s)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	pipe, err := p.pipelineFor(ctx, s)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	// Only the request that performed the capture reports its cost;
+	// the rest reused the artifact and report zero emulate/collate,
+	// so stage timings sum correctly across the batch.
+	rep, err := p.simulateCapture(ctx, pipe, c, s, paid)
+	return BatchResult{Report: rep, Err: err}
 }

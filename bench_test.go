@@ -245,6 +245,59 @@ func BenchmarkEndToEndPrediction(b *testing.B) {
 	}
 }
 
+// BenchmarkCaptureReuse is the capture-once/simulate-many story: N
+// evaluations of one workload as N full Predict calls versus one
+// Capture plus N Simulate calls. The reuse path pays emulation and
+// collation once, so it skips N-1 copies of the expensive front half
+// (ground-truth annotation keeps the comparison free of estimator
+// training).
+func BenchmarkCaptureReuse(b *testing.B) {
+	ctx := context.Background()
+	cluster := hardware.DGXV100(1)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := models.GPT3_2_7B()
+	w, err := maya.NewMegatron(maya.MegatronConfig{
+		Model: model, NGPUs: 8, GlobalBatch: 64, TP: 2, PP: 2, MicroBatches: 8,
+		ActRecompute: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const simsPerCapture = 4
+	flops := model.TrainFLOPsPerIter(64)
+	opts := []maya.PredictOption{
+		maya.WithOracleAnnotation(), maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16),
+	}
+
+	b.Run("repeated-predict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < simsPerCapture; j++ {
+				if _, err := pred.Predict(ctx, w, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("capture-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := pred.Capture(ctx, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < simsPerCapture; j++ {
+				if _, err := pred.Simulate(ctx, tr, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkPredictBatch contrasts N sequential Predict calls with one
 // PredictBatch over the same N configurations, both on a warm suite
 // cache: the batch path's bounded worker pool is the win a scenario

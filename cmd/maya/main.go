@@ -1,10 +1,17 @@
-// Command maya predicts the performance of one Megatron-LM training
-// recipe on a cluster, without GPUs. Ctrl-C cancels the in-flight
-// prediction cleanly, including estimator training.
+// Command maya predicts the performance of Megatron-LM training
+// recipes on a cluster, without GPUs. Ctrl-C cancels the in-flight
+// work cleanly, including estimator training.
 //
-// Example:
+// The trace artifact is first-class: capture once, simulate many.
 //
-//	maya -cluster 32xH100 -model gpt3-18.4b -batch 256 -tp 2 -pp 4 -micro 8 -seqpar
+//	maya predict  -cluster 32xH100 -model gpt3-18.4b -batch 256 -tp 2 -pp 4 -micro 8
+//	maya capture  -cluster 32xH100 -model gpt3-18.4b -batch 256 -tp 2 -pp 4 -micro 8 -o job.mtrace
+//	maya simulate -trace job.mtrace
+//	maya simulate -trace job.mtrace -oracle
+//	maya simulate -trace job.mtrace -actual -flops 1.2e18
+//
+// Bare flags (no verb) behave like "predict", preserving the old
+// interface.
 package main
 
 import (
@@ -21,49 +28,101 @@ import (
 )
 
 func main() {
-	var (
-		clusterSpec = flag.String("cluster", "32xH100", "cluster spec (e.g. 8xV100, 64xH100, 8xA40)")
-		modelName   = flag.String("model", "gpt3-18.4b", "model preset (gpt3-1.3b/2.7b/18.4b/145.6b, llama2-7b, ...)")
-		batch       = flag.Int("batch", 256, "global batch size (sequences)")
-		tp          = flag.Int("tp", 1, "tensor-parallel degree")
-		pp          = flag.Int("pp", 1, "pipeline-parallel degree")
-		micro       = flag.Int("micro", 1, "number of microbatches")
-		virtual     = flag.Int("virtual", 1, "virtual pipeline stages (interleaving)")
-		seqpar      = flag.Bool("seqpar", false, "sequence parallelism")
-		recompute   = flag.Bool("recompute", false, "activation recomputation")
-		distopt     = flag.Bool("distopt", false, "distributed optimizer")
-		actual      = flag.Bool("actual", false, "also measure on the synthetic silicon (ground truth)")
-		asJSON      = flag.Bool("json", false, "emit JSON")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	cluster, err := maya.ClusterByName(*clusterSpec)
-	fatalIf(err)
-	mdl, err := models.ByName(*modelName)
-	fatalIf(err)
+	args := os.Args[1:]
+	verb := "predict"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		verb, args = args[0], args[1:]
+	}
+	switch verb {
+	case "predict":
+		runPredict(ctx, args)
+	case "capture":
+		runCapture(ctx, args)
+	case "simulate":
+		runSimulate(ctx, args)
+	default:
+		fmt.Fprintf(os.Stderr, "maya: unknown verb %q (have predict, capture, simulate)\n", verb)
+		os.Exit(2)
+	}
+}
 
+// recipeFlags registers the workload/cluster flags shared by predict
+// and capture.
+type recipeFlags struct {
+	cluster   *string
+	model     *string
+	batch     *int
+	tp        *int
+	pp        *int
+	micro     *int
+	virtual   *int
+	seqpar    *bool
+	recompute *bool
+	distopt   *bool
+}
+
+func addRecipeFlags(fs *flag.FlagSet) *recipeFlags {
+	return &recipeFlags{
+		cluster:   fs.String("cluster", "32xH100", "cluster spec (e.g. 8xV100, 64xH100, 8xA40)"),
+		model:     fs.String("model", "gpt3-18.4b", "model preset (gpt3-1.3b/2.7b/18.4b/145.6b, llama2-7b, ...)"),
+		batch:     fs.Int("batch", 256, "global batch size (sequences)"),
+		tp:        fs.Int("tp", 1, "tensor-parallel degree"),
+		pp:        fs.Int("pp", 1, "pipeline-parallel degree"),
+		micro:     fs.Int("micro", 1, "number of microbatches"),
+		virtual:   fs.Int("virtual", 1, "virtual pipeline stages (interleaving)"),
+		seqpar:    fs.Bool("seqpar", false, "sequence parallelism"),
+		recompute: fs.Bool("recompute", false, "activation recomputation"),
+		distopt:   fs.Bool("distopt", false, "distributed optimizer"),
+	}
+}
+
+// build turns the flags into a cluster, workload and model-FLOPs
+// count.
+func (r *recipeFlags) build() (maya.Cluster, maya.Workload, float64) {
+	cluster, err := maya.ClusterByName(*r.cluster)
+	fatalIf(err)
+	mdl, err := models.ByName(*r.model)
+	fatalIf(err)
 	cfg := maya.MegatronConfig{
-		Model: mdl, NGPUs: cluster.TotalGPUs(), GlobalBatch: *batch,
-		TP: *tp, PP: *pp, MicroBatches: *micro, VirtualStages: *virtual,
-		SeqParallel: *seqpar, ActRecompute: *recompute, DistOptimizer: *distopt,
+		Model: mdl, NGPUs: cluster.TotalGPUs(), GlobalBatch: *r.batch,
+		TP: *r.tp, PP: *r.pp, MicroBatches: *r.micro, VirtualStages: *r.virtual,
+		SeqParallel: *r.seqpar, ActRecompute: *r.recompute, DistOptimizer: *r.distopt,
 	}
 	w, err := maya.NewMegatron(cfg)
 	fatalIf(err)
+	return cluster, w, mdl.TrainFLOPsPerIter(*r.batch)
+}
 
+func runPredict(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("maya predict", flag.ExitOnError)
+	recipe := addRecipeFlags(fs)
+	actual := fs.Bool("actual", false, "also measure on the synthetic silicon (ground truth)")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	fatalIf(fs.Parse(args))
+
+	cluster, w, flops := recipe.build()
 	fmt.Fprintf(os.Stderr, "maya: training estimators for %s (cached after first run)...\n", cluster.Name)
 	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
 	fatalIf(err)
 
-	flops := mdl.TrainFLOPsPerIter(*batch)
-	rep, err := pred.Predict(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+	// One capture serves both the prediction and the ground-truth
+	// measurement: -actual no longer re-pays emulation.
+	tr, err := pred.Capture(ctx, w)
 	fatalIf(err)
+	rep, err := pred.Simulate(ctx, tr, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+	fatalIf(err)
+	// The predicted report keeps the full stage breakdown: this run
+	// did pay the capture, once.
+	cs := tr.CaptureStages()
+	rep.Stages.Emulate, rep.Stages.Collate = cs.Emulate, cs.Collate
 
 	out := map[string]any{"predicted": rep}
 	if *actual {
-		act, err := pred.MeasureActual(ctx, w, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+		act, err := pred.Simulate(ctx, tr, maya.WithPhysicalReplay(),
+			maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 		fatalIf(err)
 		out["actual"] = act
 	}
@@ -77,6 +136,85 @@ func main() {
 	if *actual {
 		fmt.Println(out["actual"])
 	}
+}
+
+func runCapture(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("maya capture", flag.ExitOnError)
+	recipe := addRecipeFlags(fs)
+	out := fs.String("o", "job.mtrace", "output trace file")
+	fatalIf(fs.Parse(args))
+
+	cluster, w, _ := recipe.build()
+	// Capture never trains estimators: it is pure emulate + collate.
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	fatalIf(err)
+	tr, err := pred.Capture(ctx, w)
+	fatalIf(err)
+
+	f, err := os.Create(*out)
+	fatalIf(err)
+	n, err := tr.WriteTo(f)
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "maya: wrote %s (%d bytes): %s\n", *out, n, tr)
+}
+
+func runSimulate(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("maya simulate", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file written by `maya capture` (required)")
+	oracle := fs.Bool("oracle", false, "annotate with ground-truth kernel times (Table 3 oracle rows)")
+	netsim := fs.Bool("netsim", false, "model collectives with the hierarchical network simulator")
+	actual := fs.Bool("actual", false, "physical replay with ground truth (MeasureActual equivalent)")
+	flops := fs.Float64("flops", 0, "per-iteration model FLOPs (enables MFU)")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	fatalIf(fs.Parse(args))
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "maya simulate: -trace is required")
+		os.Exit(2)
+	}
+	if *netsim && (*oracle || *actual) {
+		fmt.Fprintln(os.Stderr, "maya simulate: -netsim plugs into the learned estimators and cannot combine with -oracle or -actual (those annotate every collective with ground truth)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	fatalIf(err)
+	tr, err := maya.ReadTrace(f)
+	f.Close()
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "maya: loaded %s\n", tr)
+
+	cluster, err := maya.ClusterByName(tr.Cluster())
+	fatalIf(err)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	fatalIf(err)
+
+	opts := []maya.PredictOption{maya.WithModelFLOPs(*flops), maya.WithDType(maya.BF16)}
+	switch {
+	case *actual:
+		opts = append(opts, maya.WithPhysicalReplay())
+	case *oracle:
+		opts = append(opts, maya.WithOracleAnnotation())
+	default:
+		fmt.Fprintf(os.Stderr, "maya: training estimators for %s (cached after first run)...\n", cluster.Name)
+	}
+	if *netsim {
+		opts = append(opts, maya.WithNetSim())
+	}
+	rep, err := pred.Simulate(ctx, tr, opts...)
+	fatalIf(err)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(rep))
+		return
+	}
+	fmt.Println(rep)
 }
 
 func fatalIf(err error) {

@@ -32,11 +32,10 @@ func main() {
 		ngpus := tp * pp * dp
 		cluster := maya.DGXH100(ngpus / 8)
 
-		pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+		pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithNetSim())
 		if err != nil {
 			log.Fatal(err)
 		}
-		pred = pred.WithNetworkSimulator()
 
 		job, err := maya.NewMegatron(maya.MegatronConfig{
 			Model: model, NGPUs: ngpus, GlobalBatch: globalBatch,

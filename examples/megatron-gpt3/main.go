@@ -1,8 +1,11 @@
 // Compare Megatron-LM training recipes for GPT-3 2.7B on a 16xV100
 // cluster: the workload the paper's introduction motivates. Each
-// recipe is predicted by Maya and verified against the synthetic
-// silicon ("actual"), demonstrating the <5% prediction error that
-// makes recipe selection trustworthy.
+// recipe is captured ONCE — the expensive emulate+collate half of the
+// pipeline — and the resulting Trace artifact is then simulated twice
+// from the same capture: once with learned estimators (Maya's
+// prediction) and once as a physical ground-truth replay ("actual"),
+// demonstrating the <5% prediction error that makes recipe selection
+// trustworthy without re-paying emulation per view.
 package main
 
 import (
@@ -48,15 +51,22 @@ func main() {
 			log.Fatalf("recipe %d: %v", i, err)
 		}
 		flops := model.TrainFLOPsPerIter(globalBatch)
-		p, err := pred.Predict(ctx, job, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+
+		// Capture once; predicted and actual views share the trace.
+		tr, err := pred.Capture(ctx, job)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if p.OOM {
+		if tr.OOM() {
 			fmt.Printf("%-55s %12s\n", r, "OOM")
 			continue
 		}
-		a, err := pred.MeasureActual(ctx, job, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+		p, err := pred.Simulate(ctx, tr, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := pred.Simulate(ctx, tr, maya.WithPhysicalReplay(),
+			maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"maya/internal/trace"
+)
+
+// Capture is the durable artifact of the pipeline's expensive front
+// half: one emulation plus collation of a workload on a cluster. It
+// holds the collated job trace, the communicator membership
+// (supplemented by workload configuration knowledge), the per-call
+// participation counts the simulator's wait map needs, the dedup
+// accounting, and the peak-memory / OOM verdict.
+//
+// A capture is immutable once built: annotation and simulation
+// operate on deep copies of Job, so one capture can feed any number
+// of predictions (learned, oracle, netsim, physical replay) without
+// re-paying emulation or collation. Captures serialize with WriteTo
+// and load with ReadCapture.
+type Capture struct {
+	// Workload and Cluster identify what was captured where.
+	Workload string
+	Cluster  string
+	// TotalWorkers is the job's world size; UniqueWorkers counts the
+	// ranks actually emulated after dedup / selective launch.
+	TotalWorkers  int
+	UniqueWorkers int
+	// Job is the collated trace, durations unannotated except for
+	// measured host delays. Nil when the capture ended in OOM.
+	Job *trace.Job
+	// Comms and CommSizes map communicator IDs to member global ranks
+	// and declared sizes — trace-derived, supplemented by the
+	// workload's own group knowledge for selectively launched jobs.
+	Comms     map[uint64][]int
+	CommSizes map[uint64]int
+	// Participants counts, per collective call, how many present
+	// workers join it (the simulator's wait-map expectations).
+	Participants map[trace.CollKey]int
+	// PeakMemBytes is the largest per-device allocator high-water
+	// mark; OOM marks configurations that exceeded device memory.
+	PeakMemBytes int64
+	OOM          bool
+	// EmulateTime and CollateTime record what this capture cost, so
+	// reuse wins are measurable (Fig. 13-style stage accounting).
+	EmulateTime time.Duration
+	CollateTime time.Duration
+}
+
+// baseReport starts a Report with everything the capture already
+// knows; stage timings are left zero for the caller to fill.
+func (c *Capture) baseReport() *Report {
+	return &Report{
+		Workload:      c.Workload,
+		Cluster:       c.Cluster,
+		TotalWorkers:  c.TotalWorkers,
+		UniqueWorkers: c.UniqueWorkers,
+		PeakMemBytes:  c.PeakMemBytes,
+		OOM:           c.OOM,
+	}
+}
+
+// TraceFormatVersion is the serialization version WriteTo emits and
+// ReadCapture accepts. Bump it on any incompatible payload change.
+const TraceFormatVersion = 1
+
+// Serialization errors, matchable with errors.Is.
+var (
+	// ErrTraceFormat marks input that is not a Maya trace or is
+	// corrupt (bad magic, checksum mismatch, malformed payload).
+	ErrTraceFormat = errors.New("malformed maya trace")
+	// ErrTraceVersion marks a trace written by an incompatible
+	// format version.
+	ErrTraceVersion = errors.New("unsupported maya trace version")
+)
+
+// traceMagic opens every serialized capture.
+var traceMagic = [6]byte{'M', 'A', 'Y', 'A', 'T', 'R'}
+
+// capturePayload is the JSON body of a serialized capture.
+// Participants is recomputed from the job on load (it is a pure
+// function of the trace), so it is not stored.
+type capturePayload struct {
+	Workload      string           `json:"workload"`
+	Cluster       string           `json:"cluster"`
+	TotalWorkers  int              `json:"total_workers"`
+	UniqueWorkers int              `json:"unique_workers"`
+	Job           *trace.Job       `json:"job,omitempty"`
+	Comms         map[uint64][]int `json:"comms,omitempty"`
+	CommSizes     map[uint64]int   `json:"comm_sizes,omitempty"`
+	PeakMemBytes  int64            `json:"peak_mem_bytes"`
+	OOM           bool             `json:"oom,omitempty"`
+	EmulateNS     int64            `json:"emulate_ns"`
+	CollateNS     int64            `json:"collate_ns"`
+}
+
+// WriteTo serializes the capture: a fixed header (magic, big-endian
+// uint16 format version, uint64 payload length), a JSON payload, and
+// a trailing FNV-1a checksum of the payload. It implements
+// io.WriterTo.
+func (c *Capture) WriteTo(w io.Writer) (int64, error) {
+	payload, err := json.Marshal(capturePayload{
+		Workload:      c.Workload,
+		Cluster:       c.Cluster,
+		TotalWorkers:  c.TotalWorkers,
+		UniqueWorkers: c.UniqueWorkers,
+		Job:           c.Job,
+		Comms:         c.Comms,
+		CommSizes:     c.CommSizes,
+		PeakMemBytes:  c.PeakMemBytes,
+		OOM:           c.OOM,
+		EmulateNS:     c.EmulateTime.Nanoseconds(),
+		CollateNS:     c.CollateTime.Nanoseconds(),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: encoding capture: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(traceMagic) + 2 + 8 + len(payload) + 8)
+	buf.Write(traceMagic[:])
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], TraceFormatVersion)
+	buf.Write(u16[:])
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(len(payload)))
+	buf.Write(u64[:])
+	buf.Write(payload)
+	binary.BigEndian.PutUint64(u64[:], payloadSum(payload))
+	buf.Write(u64[:])
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadCapture parses a capture produced by WriteTo. It rejects
+// non-trace input (ErrTraceFormat), incompatible versions
+// (ErrTraceVersion), and reports truncation as io.ErrUnexpectedEOF.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	var header [len(traceMagic) + 2 + 8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("core: reading trace header: %w", err)
+	}
+	if !bytes.Equal(header[:len(traceMagic)], traceMagic[:]) {
+		return nil, fmt.Errorf("core: %w: bad magic", ErrTraceFormat)
+	}
+	version := binary.BigEndian.Uint16(header[len(traceMagic):])
+	if version != TraceFormatVersion {
+		return nil, fmt.Errorf("core: %w: trace is v%d, this build reads v%d",
+			ErrTraceVersion, version, TraceFormatVersion)
+	}
+	size := binary.BigEndian.Uint64(header[len(traceMagic)+2:])
+	const maxPayload = 1 << 34 // 16 GiB: far beyond any real trace
+	if size > maxPayload {
+		return nil, fmt.Errorf("core: %w: implausible payload size %d", ErrTraceFormat, size)
+	}
+	// Grow the buffer as bytes arrive rather than trusting the header
+	// length up front: a crafted size field must fail at EOF, not
+	// allocate gigabytes first.
+	var payloadBuf bytes.Buffer
+	if _, err := io.CopyN(&payloadBuf, r, int64(size)); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("core: reading trace payload: %w", err)
+	}
+	payload := payloadBuf.Bytes()
+	var sumBuf [8]byte
+	if _, err := io.ReadFull(r, sumBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("core: reading trace checksum: %w", err)
+	}
+	if got, want := binary.BigEndian.Uint64(sumBuf[:]), payloadSum(payload); got != want {
+		return nil, fmt.Errorf("core: %w: checksum mismatch", ErrTraceFormat)
+	}
+	var p capturePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("core: %w: %v", ErrTraceFormat, err)
+	}
+	c := &Capture{
+		Workload:      p.Workload,
+		Cluster:       p.Cluster,
+		TotalWorkers:  p.TotalWorkers,
+		UniqueWorkers: p.UniqueWorkers,
+		Job:           p.Job,
+		Comms:         p.Comms,
+		CommSizes:     p.CommSizes,
+		PeakMemBytes:  p.PeakMemBytes,
+		OOM:           p.OOM,
+		EmulateTime:   time.Duration(p.EmulateNS),
+		CollateTime:   time.Duration(p.CollateNS),
+	}
+	if c.Job != nil {
+		c.Participants = trace.Participation(c.Job)
+	}
+	return c, nil
+}
+
+func payloadSum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}

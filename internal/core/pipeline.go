@@ -95,23 +95,36 @@ func (r *Report) String() string {
 		r.Workload, r.Cluster, r.IterTime, r.CommTime, float64(r.PeakMemBytes)/(1<<30), r.MFU*100)
 }
 
-// Pipeline predicts workload performance on one cluster.
+// Pipeline predicts workload performance on one cluster. It is a
+// composition of three stages over the Capture artifact:
+//
+//	Capture  — emulate + collate (the expensive half); yields a
+//	           reusable, immutable Capture
+//	Simulate — annotate a deep copy (learned suite or Opts.Oracle)
+//	           and replay it in prediction mode
+//	Measure  — annotate a deep copy with silicon ground truth and
+//	           replay it in physical mode (the deployment stand-in)
+//
+// Predict and MeasureActual are thin compositions; callers that
+// evaluate one workload several ways (oracle vs learned, ±netsim,
+// predicted vs actual) should Capture once and fan out.
 type Pipeline struct {
 	Cluster hardware.Cluster
 	Suite   *estimator.Suite
 	Opts    Options
 }
 
-// Predict runs the full pipeline. modelFLOPs is the workload's
-// per-iteration model FLOP count (for MFU); pass 0 to skip MFU.
-// Every stage observes ctx: cancellation aborts emulation between
-// ranks, collation, estimation and the simulator's event loop, so a
-// large multi-rank prediction stops promptly and returns ctx.Err().
-func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+// Capture runs the emulation and collation stages once and returns
+// the collated trace artifact. Out-of-memory configurations are a
+// result, not an error: the returned capture carries the OOM verdict
+// (with a nil Job) exactly as the emulator detected it. Cancellation
+// of ctx aborts emulation between ranks and collation between
+// passes.
+func (p *Pipeline) Capture(ctx context.Context, w workload.Workload) (*Capture, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rep := &Report{
+	c := &Capture{
 		Workload:     w.Name(),
 		Cluster:      p.Cluster.Name,
 		TotalWorkers: w.World(),
@@ -122,21 +135,19 @@ func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs 
 	if err != nil {
 		return nil, err
 	}
-	rep.Stages.Emulate = time.Since(t0)
+	c.EmulateTime = time.Since(t0)
 
-	// Out-of-memory configurations are a result, not an error: the
-	// emulator detected what the deployment would hit.
 	for _, wk := range workers {
-		if wk.PeakBytes > rep.PeakMemBytes {
-			rep.PeakMemBytes = wk.PeakBytes
+		if wk.PeakBytes > c.PeakMemBytes {
+			c.PeakMemBytes = wk.PeakBytes
 		}
 		if wk.OOM {
-			rep.OOM = true
+			c.OOM = true
 		}
 	}
-	rep.UniqueWorkers = len(workers)
-	if rep.OOM {
-		return rep, nil
+	c.UniqueWorkers = len(workers)
+	if c.OOM {
+		return c, nil
 	}
 
 	t0 = time.Now()
@@ -144,13 +155,38 @@ func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs 
 	if err != nil {
 		return nil, err
 	}
-	rep.Stages.Collate = time.Since(t0)
+	c.CollateTime = time.Since(t0)
+	// Membership comes from the emulation pass (complete, including
+	// GroupAware supplements), not the collator's unique-worker view.
+	c.Job, c.Comms, c.CommSizes = col.Job, comms, sizes
+	c.Participants = col.Participants
+	return c, nil
+}
 
-	t0 = time.Now()
+// Simulate annotates a deep copy of the capture's job — with the
+// ground-truth oracle when Opts.Oracle is set, otherwise with the
+// learned suite (sharing Opts.Memo when present) — and replays it in
+// prediction mode. The capture is never mutated, so any number of
+// Simulate calls can reuse it; the report's Emulate/Collate stage
+// timings are zero because those stages did not run.
+func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep := c.baseReport()
+	if c.OOM {
+		return rep, nil
+	}
+	t0 := time.Now()
+	job := c.Job.Clone()
+	var err error
 	if p.Opts.Oracle != nil {
-		err = p.Opts.Oracle.Annotate(ctx, col.Job, comms, sizes)
+		err = p.Opts.Oracle.Annotate(ctx, job, c.Comms, c.CommSizes)
 	} else {
-		err = p.Suite.AnnotateMemo(ctx, col.Job, comms, sizes, p.Opts.Memo)
+		if p.Suite == nil {
+			return nil, errors.New("core: Simulate needs a trained Suite or an Oracle")
+		}
+		err = p.Suite.AnnotateMemo(ctx, job, c.Comms, c.CommSizes, p.Opts.Memo)
 	}
 	if err != nil {
 		return nil, err
@@ -158,9 +194,9 @@ func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs 
 	rep.Stages.Estimate = time.Since(t0)
 
 	t0 = time.Now()
-	sr, err := sim.Run(ctx, col.Job, sim.Options{Participants: col.Participants})
+	sr, err := sim.Run(ctx, job, sim.Options{Participants: c.Participants})
 	if err != nil {
-		return nil, fmt.Errorf("core: simulating %s: %w", w.Name(), err)
+		return nil, fmt.Errorf("core: simulating %s: %w", c.Workload, err)
 	}
 	rep.Stages.Simulate = time.Since(t0)
 
@@ -168,43 +204,61 @@ func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs 
 	return rep, nil
 }
 
-// MeasureActual is the ground-truth path: same trace, true kernel
-// times, physical-mode simulation. It stands in for deploying the
-// workload on the cluster.
-func (p *Pipeline) MeasureActual(ctx context.Context, w workload.Workload, oracle *silicon.Oracle, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+// Measure replays the capture against the silicon ground truth in
+// physical mode — "deploy the job on the cluster and time it". The
+// capture is never mutated (the oracle annotates a deep copy), so
+// measurement and any number of predictions share one capture. It
+// needs no trained suite.
+func (p *Pipeline) Measure(ctx context.Context, c *Capture, oracle *silicon.Oracle, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		Workload:     w.Name(),
-		Cluster:      p.Cluster.Name,
-		TotalWorkers: w.World(),
-	}
-	workers, comms, sizes, err := p.emulate(ctx, w)
-	if err != nil {
-		return nil, err
-	}
-	for _, wk := range workers {
-		if wk.PeakBytes > rep.PeakMemBytes {
-			rep.PeakMemBytes = wk.PeakBytes
-		}
-		if wk.OOM {
-			rep.OOM = true
-		}
-	}
-	rep.UniqueWorkers = len(workers)
-	if rep.OOM {
+	rep := c.baseReport()
+	if c.OOM {
 		return rep, nil
 	}
-	col, err := collator.Collate(ctx, workers, collator.Options{Validate: p.Opts.Validate})
+	t0 := time.Now()
+	sr, err := silicon.MeasureActual(ctx, c.Job, oracle, c.Comms, c.CommSizes, c.Participants, p.Opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring %s: %w", c.Workload, err)
+	}
+	rep.Stages.Simulate = time.Since(t0)
+	p.fill(rep, sr, modelFLOPs, dtype)
+	return rep, nil
+}
+
+// Predict runs the full pipeline: Capture then Simulate. modelFLOPs
+// is the workload's per-iteration model FLOP count (for MFU); pass 0
+// to skip MFU. Every stage observes ctx: cancellation aborts
+// emulation between ranks, collation, estimation and the simulator's
+// event loop, so a large multi-rank prediction stops promptly and
+// returns ctx.Err().
+func (p *Pipeline) Predict(ctx context.Context, w workload.Workload, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	c, err := p.Capture(ctx, w)
 	if err != nil {
 		return nil, err
 	}
-	sr, err := silicon.MeasureActual(ctx, col.Job, oracle, comms, sizes, col.Participants, p.Opts.Seed)
+	rep, err := p.Simulate(ctx, c, modelFLOPs, dtype)
 	if err != nil {
-		return nil, fmt.Errorf("core: measuring %s: %w", w.Name(), err)
+		return nil, err
 	}
-	p.fill(rep, sr, modelFLOPs, dtype)
+	rep.Stages.Emulate, rep.Stages.Collate = c.EmulateTime, c.CollateTime
+	return rep, nil
+}
+
+// MeasureActual is the ground-truth path: Capture then Measure —
+// same trace, true kernel times, physical-mode simulation. It stands
+// in for deploying the workload on the cluster.
+func (p *Pipeline) MeasureActual(ctx context.Context, w workload.Workload, oracle *silicon.Oracle, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	c, err := p.Capture(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.Measure(ctx, c, oracle, modelFLOPs, dtype)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stages.Emulate, rep.Stages.Collate = c.EmulateTime, c.CollateTime
 	return rep, nil
 }
 

@@ -67,19 +67,28 @@ func fig14(ctx context.Context, e *Env) (*Table, error) {
 		noDedup := &core.Pipeline{Cluster: sc.cluster, Suite: pipe.Suite, Opts: core.Options{NoDedup: true}}
 		dedup := &core.Pipeline{Cluster: sc.cluster, Suite: pipe.Suite, Opts: core.Options{}}
 
-		t0 := time.Now()
-		rf, err := noDedup.Predict(ctx, w, 0, hardware.BF16)
+		// The ablation is about what deduplication saves in the
+		// capture (emulate + collate) and downstream stages; the
+		// stage-decomposed pipeline measures each leg explicitly.
+		cf, err := noDedup.Capture(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		tFull := time.Since(t0)
+		rf, err := noDedup.Simulate(ctx, cf, 0, hardware.BF16)
+		if err != nil {
+			return nil, err
+		}
+		tFull := cf.EmulateTime + cf.CollateTime + rf.Stages.Estimate + rf.Stages.Simulate
 
-		t0 = time.Now()
-		rd, err := dedup.Predict(ctx, w, 0, hardware.BF16)
+		cd, err := dedup.Capture(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		tDedup := time.Since(t0)
+		rd, err := dedup.Simulate(ctx, cd, 0, hardware.BF16)
+		if err != nil {
+			return nil, err
+		}
+		tDedup := cd.EmulateTime + cd.CollateTime + rd.Stages.Estimate + rd.Stages.Simulate
 
 		if rf.OOM || rd.OOM {
 			return nil, fmt.Errorf("fig14 %s: unexpected OOM", sc.name)

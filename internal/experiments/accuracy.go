@@ -107,14 +107,21 @@ func (e *Env) sweep(ctx context.Context, setup setupSpec, maxConfigs int) ([]poi
 			if seen(pts, knobs) {
 				continue
 			}
-			pred, err := pipe.Predict(ctx, m(cfg), flops, hardware.BF16)
+			// Capture once; prediction and ground-truth measurement
+			// both simulate from the same artifact, halving emulation
+			// cost across the sweep.
+			cap, err := pipe.Capture(ctx, m(cfg))
 			if err != nil {
 				return nil, err
 			}
-			if pred.OOM {
+			if cap.OOM {
 				continue
 			}
-			actual, err := pipe.MeasureActual(ctx, m(cfg), oracle, flops, hardware.BF16)
+			pred, err := pipe.Simulate(ctx, cap, flops, hardware.BF16)
+			if err != nil {
+				return nil, err
+			}
+			actual, err := pipe.Measure(ctx, cap, oracle, flops, hardware.BF16)
 			if err != nil {
 				return nil, err
 			}
@@ -373,15 +380,23 @@ func table3(ctx context.Context, e *Env) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table3 row %+v: %w", r, err)
 		}
-		actual, err := pipe.MeasureActual(ctx, w, oracle, 0, hardware.BF16)
+		// One capture feeds all three columns: ground-truth
+		// measurement, learned end-to-end prediction, and oracle
+		// prediction — the oracle-vs-learned comparison never
+		// re-emulates.
+		cap, err := pipe.Capture(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		e2e, err := pipe.Predict(ctx, w, 0, hardware.BF16)
+		actual, err := pipe.Measure(ctx, cap, oracle, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}
-		orc, err := oraclePipe.Predict(ctx, w, 0, hardware.BF16)
+		e2e, err := pipe.Simulate(ctx, cap, 0, hardware.BF16)
+		if err != nil {
+			return nil, err
+		}
+		orc, err := oraclePipe.Simulate(ctx, cap, 0, hardware.BF16)
 		if err != nil {
 			return nil, err
 		}

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"time"
 
-	"maya/internal/estimator"
 	"maya/internal/framework"
 	"maya/internal/hardware"
 	"maya/internal/models"
@@ -30,27 +29,32 @@ type crossBest struct {
 
 // crossEval measures the ACTUAL cost of a recipe on a cluster
 // (deploy-and-time, like the paper's Fig. 2), returning ok=false on
-// OOM or structural invalidity.
+// OOM or structural invalidity. Measurement is trace-driven — one
+// capture, one physical replay — and since only ground truth is
+// needed, no estimator suite is ever trained. Captures are used once
+// and released (the sweep's evals map already deduplicates matrix
+// revisits), so no trace data is retained across the experiment.
 func (e *Env) crossEval(ctx context.Context, cluster hardware.Cluster, mdl models.Transformer, batch int, k search.Knobs) (crossBest, bool, error) {
 	problem := search.Problem{Model: mdl, Cluster: cluster, GlobalBatch: batch}
 	cfg, ok := problem.Build(k)
 	if !ok {
 		return crossBest{}, false, nil
 	}
-	pipe, err := e.Predictor(ctx, cluster, estimator.ProfileLLM)
-	if err != nil {
-		return crossBest{}, false, err
-	}
 	w, err := framework.NewMegatron(cfg)
 	if err != nil {
 		return crossBest{}, false, err
 	}
-	rep, err := pipe.MeasureActual(ctx, w, e.Oracle(cluster), mdl.TrainFLOPsPerIter(batch), hardware.BF16)
+	pipe := e.Measurer(cluster)
+	cap, err := pipe.Capture(ctx, w)
 	if err != nil {
 		return crossBest{}, false, err
 	}
-	if rep.OOM {
+	if cap.OOM {
 		return crossBest{}, false, nil
+	}
+	rep, err := pipe.Measure(ctx, cap, e.Oracle(cluster), mdl.TrainFLOPsPerIter(batch), hardware.BF16)
+	if err != nil {
+		return crossBest{}, false, err
 	}
 	return crossBest{knobs: k, iter: rep.IterTime, mfu: rep.MFU}, true, nil
 }

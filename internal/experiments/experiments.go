@@ -23,6 +23,7 @@ import (
 	"maya/internal/estimator"
 	"maya/internal/hardware"
 	"maya/internal/silicon"
+	"maya/internal/workload"
 )
 
 // Scale selects experiment sweep sizes.
@@ -176,6 +177,32 @@ func (e *Env) Predictor(ctx context.Context, cluster hardware.Cluster, kind esti
 		return nil, err
 	}
 	return &core.Pipeline{Cluster: cluster, Suite: suite, Opts: core.Options{SelectiveLaunch: true}}, nil
+}
+
+// Measurer returns a pipeline that only captures and measures: no
+// estimator suite is trained or consulted, so experiments that need
+// ground truth alone (fig2's deploy-and-time sweeps) skip training
+// entirely.
+func (e *Env) Measurer(cluster hardware.Cluster) *core.Pipeline {
+	return &core.Pipeline{Cluster: cluster, Opts: core.Options{SelectiveLaunch: true}}
+}
+
+// CaptureOnce memoizes one capture per key, so experiments that
+// evaluate the same workload several ways (predicted, oracle,
+// actual; or the same recipe revisited by a cross matrix) pay
+// emulation and collation once per (cluster, workload).
+func (e *Env) CaptureOnce(ctx context.Context, pipe *core.Pipeline, key string, build func() (workload.Workload, error)) (*core.Capture, error) {
+	v, err := e.memo("capture/"+pipe.Cluster.Name+"/"+key, func() (any, error) {
+		w, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return pipe.Capture(ctx, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Capture), nil
 }
 
 // MAPE returns the held-out per-kernel error map for a cluster.

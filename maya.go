@@ -150,30 +150,81 @@ type Predictor struct {
 
 // predictorConfig collects NewPredictor options.
 type predictorConfig struct {
-	opts  core.Options
-	cache *EstimatorCache
+	opts   core.Options
+	cache  *EstimatorCache
+	netsim bool
 }
 
-// PredictorOption customizes construction.
-type PredictorOption func(*predictorConfig)
+// PredictorOption customizes Predictor construction. Options that
+// also make sense per call (WithNetSim, WithSeed) satisfy both
+// PredictorOption and PredictOption.
+type PredictorOption interface {
+	applyPredictor(*predictorConfig)
+}
+
+// predictorOption adapts a plain function to PredictorOption.
+type predictorOption func(*predictorConfig)
+
+func (f predictorOption) applyPredictor(c *predictorConfig) { f(c) }
 
 // WithoutDedup disables worker deduplication (every rank is emulated
 // and simulated).
 func WithoutDedup() PredictorOption {
-	return func(c *predictorConfig) { c.opts.NoDedup = true }
+	return predictorOption(func(c *predictorConfig) { c.opts.NoDedup = true })
 }
 
 // WithValidation enables cross-worker collective consistency checks
 // on every call of the predictor.
 func WithValidation() PredictorOption {
-	return func(c *predictorConfig) { c.opts.Validate = true }
+	return predictorOption(func(c *predictorConfig) { c.opts.Validate = true })
 }
 
 // WithEstimatorCache injects the cache the predictor resolves its
 // estimator suite from. Predictors without it share
 // DefaultEstimatorCache.
 func WithEstimatorCache(cache *EstimatorCache) PredictorOption {
-	return func(c *predictorConfig) { c.cache = cache }
+	return predictorOption(func(c *predictorConfig) { c.cache = cache })
+}
+
+// Option is accepted both at predictor construction and per call:
+// construction sets the predictor's default, a per-call use overrides
+// it for that call only.
+type Option interface {
+	PredictorOption
+	PredictOption
+}
+
+// dualOption implements Option.
+type dualOption struct {
+	ctor func(*predictorConfig)
+	call func(*predictSettings)
+}
+
+func (d dualOption) applyPredictor(c *predictorConfig) { d.ctor(c) }
+func (d dualOption) applyPredict(s *predictSettings)   { d.call(s) }
+
+// WithNetSim sources collective times from the built-in hierarchical
+// network simulator instead of profiled curves — required beyond
+// profiled cluster scales. As a PredictorOption it becomes the
+// predictor's default; as a PredictOption it selects netsim
+// collectives for one Predict/Simulate call.
+func WithNetSim() Option {
+	return dualOption{
+		ctor: func(c *predictorConfig) { c.netsim = true },
+		call: func(s *predictSettings) { on := true; s.netsim = &on },
+	}
+}
+
+// WithSeed namespaces the measurement randomness of the synthetic
+// silicon (MeasureActual's launch jitter and contention draws, and
+// emulation-time measured host delays). As a PredictorOption it sets
+// the predictor default; as a PredictOption it overrides one call.
+// The zero seed is the canonical silicon.
+func WithSeed(seed uint64) Option {
+	return dualOption{
+		ctor: func(c *predictorConfig) { c.opts.Seed = seed },
+		call: func(s *predictSettings) { s.seed = &seed },
+	}
 }
 
 // NewPredictor returns a predictor for the cluster. Construction
@@ -189,20 +240,24 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 		cache: DefaultEstimatorCache(),
 	}
 	for _, opt := range opts {
-		opt(&cfg)
+		opt.applyPredictor(&cfg)
 	}
 	return &Predictor{
 		cluster: cluster,
 		kind:    kind,
 		opts:    cfg.opts,
 		cache:   cfg.cache,
+		netsim:  cfg.netsim,
 		oracle:  core.DefaultOracle(cluster),
 	}, nil
 }
 
 // WithNetworkSimulator returns a predictor whose collective times
 // come from the built-in hierarchical network simulator instead of
-// profiled curves — required beyond profiled cluster scales.
+// profiled curves.
+//
+// Deprecated: pass WithNetSim() to NewPredictor, or per call to
+// Predict/Simulate.
 func (p *Predictor) WithNetworkSimulator() *Predictor {
 	return &Predictor{
 		cluster: p.cluster,
@@ -217,49 +272,70 @@ func (p *Predictor) WithNetworkSimulator() *Predictor {
 // Cluster returns the predictor's target cluster.
 func (p *Predictor) Cluster() Cluster { return p.cluster }
 
-// predictSettings are the per-call knobs of Predict/MeasureActual.
+// predictSettings are the per-call knobs of Predict, MeasureActual,
+// Capture, Simulate and batch requests.
 type predictSettings struct {
 	flops    float64
 	dtype    DType
 	oracle   bool
+	physical bool
+	netsim   *bool
+	seed     *uint64
 	validate *bool
 	memo     *estimator.KernelMemo // batch-shared estimate memo
 }
 
-// PredictOption customizes one Predict, MeasureActual or batch
-// request.
-type PredictOption func(*predictSettings)
+// PredictOption customizes one Predict, MeasureActual, Capture,
+// Simulate or batch request.
+type PredictOption interface {
+	applyPredict(*predictSettings)
+}
+
+// predictOption adapts a plain function to PredictOption.
+type predictOption func(*predictSettings)
+
+func (f predictOption) applyPredict(s *predictSettings) { f(s) }
 
 // WithModelFLOPs supplies the per-iteration model FLOP count used for
 // MFU. Without it MFU is skipped.
 func WithModelFLOPs(flops float64) PredictOption {
-	return func(s *predictSettings) { s.flops = flops }
+	return predictOption(func(s *predictSettings) { s.flops = flops })
 }
 
 // WithDType sets the training precision whose peak throughput MFU is
 // normalized by. BF16 is the default.
 func WithDType(dt DType) PredictOption {
-	return func(s *predictSettings) { s.dtype = dt }
+	return predictOption(func(s *predictSettings) { s.dtype = dt })
 }
 
 // WithOracleAnnotation makes this call annotate kernels with
 // ground-truth runtimes instead of learned estimates — the "oracle"
 // rows of Table 3. Such calls need no trained estimator suite.
 func WithOracleAnnotation() PredictOption {
-	return func(s *predictSettings) { s.oracle = true }
+	return predictOption(func(s *predictSettings) { s.oracle = true })
+}
+
+// WithPhysicalReplay makes this call annotate with ground truth and
+// replay in the simulator's physical mode (launch jitter, SM
+// contention) — exactly what MeasureActual does, but selectable per
+// call so a captured Trace can be both predicted and "deployed"
+// without re-emulating. Such calls need no trained estimator suite.
+func WithPhysicalReplay() PredictOption {
+	return predictOption(func(s *predictSettings) { s.physical = true })
 }
 
 // WithValidationOverride enables or disables cross-worker collective
 // consistency checks for this call only, overriding the predictor's
-// WithValidation construction default.
+// WithValidation construction default. Validation runs during
+// collation, so for a pre-captured Trace it has no effect.
 func WithValidationOverride(on bool) PredictOption {
-	return func(s *predictSettings) { s.validate = &on }
+	return predictOption(func(s *predictSettings) { s.validate = &on })
 }
 
 func applyPredictOptions(opts []PredictOption) predictSettings {
 	s := predictSettings{dtype: BF16}
 	for _, opt := range opts {
-		opt(&s)
+		opt.applyPredict(&s)
 	}
 	return s
 }
@@ -268,43 +344,82 @@ func applyPredictOptions(opts []PredictOption) predictSettings {
 // consulting the cache on every call (a hit is a cheap locked map
 // lookup) so that Evict/Purge on the cache take effect for live
 // predictors: the next call after an eviction retrains.
-func (p *Predictor) resolveSuite(ctx context.Context) (*estimator.Suite, error) {
+func (p *Predictor) resolveSuite(ctx context.Context, s predictSettings) (*estimator.Suite, error) {
 	suite, _, err := p.cache.impl.SuiteFor(ctx, p.cluster, p.oracle, p.kind)
 	if err != nil {
 		return nil, fmt.Errorf("maya: training estimators: %w", err)
 	}
-	if p.netsim {
+	useNetsim := p.netsim
+	if s.netsim != nil {
+		useNetsim = *s.netsim
+	}
+	if useNetsim {
 		suite = suite.WithCollectiveEstimator(netsim.New(p.cluster))
 	}
 	return suite, nil
 }
 
-// pipelineFor builds the per-call pipeline view: shared cluster and
-// suite, per-call option overrides.
-func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.Pipeline, error) {
+// capturePipeline builds the pipeline view for the capture stage:
+// shared cluster, capture-relevant option overrides, no suite (the
+// capture stage never estimates).
+func (p *Predictor) capturePipeline(s predictSettings) *core.Pipeline {
 	opts := p.opts
-	if s.oracle {
-		opts.Oracle = p.oracle
-	}
 	if s.validate != nil {
 		opts.Validate = *s.validate
 	}
-	opts.Memo = s.memo
-	var suite *estimator.Suite
-	if !s.oracle {
-		var err error
-		suite, err = p.resolveSuite(ctx)
+	if s.seed != nil {
+		opts.Seed = *s.seed
+	}
+	return &core.Pipeline{Cluster: p.cluster, Opts: opts}
+}
+
+// pipelineFor builds the full per-call pipeline view: shared cluster
+// and suite, per-call option overrides. Calls that annotate with
+// ground truth (oracle or physical replay) skip suite resolution and
+// therefore never train.
+func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.Pipeline, error) {
+	pipe := p.capturePipeline(s)
+	pipe.Opts.Memo = s.memo
+	if s.oracle {
+		pipe.Opts.Oracle = p.oracle
+	}
+	if !s.oracle && !s.physical {
+		suite, err := p.resolveSuite(ctx, s)
 		if err != nil {
 			return nil, err
 		}
+		pipe.Suite = suite
 	}
-	return &core.Pipeline{Cluster: p.cluster, Suite: suite, Opts: opts}, nil
+	return pipe, nil
 }
 
-// Predict runs the full Maya pipeline for the workload. Cancellation
-// of ctx is observed by every stage — emulation, collation,
-// estimation and simulation — so a large multi-rank prediction
-// aborts promptly and returns ctx.Err().
+// simulateCapture runs the back half of a prediction on an existing
+// capture: physical replay for measurement calls, annotate+simulate
+// otherwise. When stampCapture is set the report's Emulate/Collate
+// stage timings carry the capture's recorded cost (the composed
+// Predict path); reused captures report zero there instead.
+func (p *Predictor) simulateCapture(ctx context.Context, pipe *core.Pipeline, c *core.Capture, s predictSettings, stampCapture bool) (*Report, error) {
+	var rep *Report
+	var err error
+	if s.physical {
+		rep, err = pipe.Measure(ctx, c, p.oracle, s.flops, s.dtype)
+	} else {
+		rep, err = pipe.Simulate(ctx, c, s.flops, s.dtype)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stampCapture {
+		rep.Stages.Emulate, rep.Stages.Collate = c.EmulateTime, c.CollateTime
+	}
+	return rep, nil
+}
+
+// Predict runs the full Maya pipeline for the workload: one capture
+// (emulate + collate), then annotate + simulate. Cancellation of ctx
+// is observed by every stage, so a large multi-rank prediction
+// aborts promptly and returns ctx.Err(). To evaluate one workload
+// many ways, Capture once and call Simulate per variant instead.
 func (p *Predictor) Predict(ctx context.Context, w Workload, opts ...PredictOption) (*Report, error) {
 	if w == nil {
 		return nil, errors.New("maya: Predict of a nil workload")
@@ -317,23 +432,25 @@ func (p *Predictor) predict(ctx context.Context, w Workload, s predictSettings) 
 	if err != nil {
 		return nil, err
 	}
-	return pipe.Predict(ctx, w, s.flops, s.dtype)
+	c, err := pipe.Capture(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	return p.simulateCapture(ctx, pipe, c, s, true)
 }
 
 // MeasureActual times the workload on the bundled synthetic silicon —
 // the stand-in for deploying on real hardware that all accuracy
 // experiments compare against. On a real deployment this would be
-// replaced by running the job. It needs no trained estimators and
-// observes ctx the same way Predict does.
+// replaced by running the job. It is Predict with WithPhysicalReplay:
+// capture once, ground-truth annotation, physical-mode replay. It
+// needs no trained estimators and observes ctx the same way Predict
+// does.
 func (p *Predictor) MeasureActual(ctx context.Context, w Workload, opts ...PredictOption) (*Report, error) {
 	if w == nil {
 		return nil, errors.New("maya: MeasureActual of a nil workload")
 	}
 	s := applyPredictOptions(opts)
-	opt := p.opts
-	if s.validate != nil {
-		opt.Validate = *s.validate
-	}
-	pipe := &core.Pipeline{Cluster: p.cluster, Opts: opt}
-	return pipe.MeasureActual(ctx, w, p.oracle, s.flops, s.dtype)
+	s.physical = true
+	return p.predict(ctx, w, s)
 }

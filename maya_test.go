@@ -105,11 +105,10 @@ func TestNetworkSimulatorPlugIn(t *testing.T) {
 	}
 	ctx := context.Background()
 	cluster := maya.DGXH100(16) // 128 GPUs: beyond profiled collectives
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithNetSim())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred = pred.WithNetworkSimulator()
 	model := maya.GPT3_18_4B()
 	w, err := maya.NewMegatron(maya.MegatronConfig{
 		Model: model, NGPUs: 128, GlobalBatch: 256, TP: 8, PP: 4, MicroBatches: 8,
@@ -125,6 +124,27 @@ func TestNetworkSimulatorPlugIn(t *testing.T) {
 	}
 	if rep.OOM || rep.IterTime <= 0 {
 		t.Fatalf("hyperscale prediction failed: %+v", rep)
+	}
+
+	// The per-call option and the deprecated copy-returning method
+	// select the same machinery.
+	plain, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCall, err := plain.Predict(ctx, w, maya.WithNetSim(),
+		maya.WithModelFLOPs(model.TrainFLOPsPerIter(256)), maya.WithDType(maya.BF16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deprecated, err := plain.WithNetworkSimulator().Predict(ctx, w,
+		maya.WithModelFLOPs(model.TrainFLOPsPerIter(256)), maya.WithDType(maya.BF16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perCall.IterTime != rep.IterTime || deprecated.IterTime != rep.IterTime {
+		t.Fatalf("WithNetSim variants disagree: ctor %v, per-call %v, deprecated %v",
+			rep.IterTime, perCall.IterTime, deprecated.IterTime)
 	}
 }
 

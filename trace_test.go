@@ -1,0 +1,256 @@
+package maya_test
+
+// Tests of the first-class Trace artifact: capture once, annotate &
+// simulate many. Everything here annotates with ground truth (oracle
+// or physical replay), so no estimator training is needed and the
+// tests run fast.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"maya"
+)
+
+func tracePredictor(t *testing.T) (*maya.Predictor, maya.Workload) {
+	t.Helper()
+	pred, err := maya.NewPredictor(maya.DGXV100(1), maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := maya.GPT3_1_3B()
+	w, err := maya.NewMegatron(maya.MegatronConfig{
+		Model: model, NGPUs: 8, GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred, w
+}
+
+// stripStages removes wall-clock stage timings so reports compare by
+// value.
+func stripStages(r *maya.Report) maya.Report {
+	c := *r
+	c.Stages = maya.StageTimings{}
+	return c
+}
+
+func TestTraceCaptureReuseMatchesPredict(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if tr.OOM() || tr.TotalWorkers() != 8 || tr.UniqueWorkers() != 2 || tr.PeakMemBytes() <= 0 {
+		t.Fatalf("implausible trace: %v", tr)
+	}
+
+	// One capture, three views: oracle prediction, physical replay,
+	// and a second oracle prediction proving determinism.
+	oracleRep, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatalf("Simulate(oracle): %v", err)
+	}
+	actualRep, err := pred.Simulate(ctx, tr, maya.WithPhysicalReplay())
+	if err != nil {
+		t.Fatalf("Simulate(physical): %v", err)
+	}
+	again, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(oracleRep) != stripStages(again) {
+		t.Errorf("repeated Simulate from one trace diverged:\n%+v\n%+v", oracleRep, again)
+	}
+
+	// The composed entry points must agree with the staged path.
+	predicted, err := pred.Predict(ctx, w, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(predicted) != stripStages(oracleRep) {
+		t.Errorf("Predict disagrees with Capture+Simulate:\n%+v\n%+v", predicted, oracleRep)
+	}
+	measured, err := pred.MeasureActual(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(measured) != stripStages(actualRep) {
+		t.Errorf("MeasureActual disagrees with Simulate(WithPhysicalReplay):\n%+v\n%+v", measured, actualRep)
+	}
+
+	// Stage accounting: the composed Predict paid emulation; the
+	// trace-reusing Simulate calls must not have.
+	if predicted.Stages.Emulate <= 0 {
+		t.Error("Predict report carries no emulation time")
+	}
+	if oracleRep.Stages.Emulate != 0 || oracleRep.Stages.Collate != 0 {
+		t.Errorf("Simulate from a trace must skip emulate+collate, got %+v", oracleRep.Stages)
+	}
+	if cs := tr.CaptureStages(); cs.Emulate <= 0 {
+		t.Errorf("trace does not account its capture cost: %+v", cs)
+	}
+}
+
+func TestTraceSerializationPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	raw := buf.Bytes()
+
+	loaded, err := maya.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if loaded.Workload() != tr.Workload() || loaded.Cluster() != tr.Cluster() ||
+		loaded.UniqueWorkers() != tr.UniqueWorkers() {
+		t.Errorf("loaded trace metadata differs: %v vs %v", loaded, tr)
+	}
+	// A reloaded trace simulates to the same report.
+	a, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pred.Simulate(ctx, loaded, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(a) != stripStages(b) {
+		t.Errorf("reloaded trace simulates differently:\n%+v\n%+v", a, b)
+	}
+
+	// Version mismatch and truncation surface typed errors.
+	patched := append([]byte(nil), raw...)
+	patched[6], patched[7] = 0x7F, 0x7F
+	if _, err := maya.ReadTrace(bytes.NewReader(patched)); !errors.Is(err, maya.ErrTraceVersion) {
+		t.Errorf("version mismatch: err = %v, want ErrTraceVersion", err)
+	}
+	if _, err := maya.ReadTrace(bytes.NewReader(raw[:len(raw)/3])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated trace: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := maya.ReadTrace(bytes.NewReader([]byte("not a trace at all, just words"))); !errors.Is(err, maya.ErrTraceFormat) {
+		t.Errorf("garbage input: err = %v, want ErrTraceFormat", err)
+	}
+}
+
+func TestTraceClusterMismatch(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := maya.NewPredictor(maya.DGXH100(4), maya.ProfileLLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Simulate(ctx, tr, maya.WithOracleAnnotation()); err == nil {
+		t.Fatal("Simulate accepted a trace captured for a different cluster")
+	}
+}
+
+func TestWithSeedNamespacesMeasurement(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+
+	a1, err := pred.MeasureActual(ctx, w, maya.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pred.MeasureActual(ctx, w, maya.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pred.MeasureActual(ctx, w, maya.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.IterTime != a2.IterTime {
+		t.Errorf("same seed, different measurements: %v vs %v", a1.IterTime, a2.IterTime)
+	}
+	if a1.IterTime == b.IterTime {
+		t.Errorf("different seeds produced identical measurements: %v", a1.IterTime)
+	}
+
+	// The construction-time default seeds the same machinery.
+	seeded, err := maya.NewPredictor(maya.DGXV100(1), maya.ProfileLLM, maya.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := seeded.MeasureActual(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IterTime != b.IterTime {
+		t.Errorf("predictor-level seed disagrees with per-call seed: %v vs %v", c.IterTime, b.IterTime)
+	}
+}
+
+func TestPredictBatchSharesCaptures(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+
+	// The same workload value three ways: two ground-truth predictions
+	// and a physical replay — one emulation serves all three.
+	reqs := []maya.Request{
+		{Workload: w, Options: []maya.PredictOption{maya.WithOracleAnnotation()}},
+		{Workload: w, Options: []maya.PredictOption{maya.WithOracleAnnotation(), maya.WithModelFLOPs(1e15)}},
+		{Workload: w, Options: []maya.PredictOption{maya.WithPhysicalReplay()}},
+	}
+	results, err := pred.PredictBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+
+	// Byte-identical to the individual call path.
+	one, err := pred.Predict(ctx, w, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(results[0].Report) != stripStages(one) {
+		t.Errorf("batch result diverged from Predict:\n%+v\n%+v", results[0].Report, one)
+	}
+	withFLOPs := stripStages(results[1].Report)
+	if withFLOPs.MFU <= 0 {
+		t.Errorf("batch request with FLOPs lost its MFU: %+v", withFLOPs)
+	}
+	actual, err := pred.MeasureActual(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(results[2].Report) != stripStages(actual) {
+		t.Errorf("batch physical replay diverged from MeasureActual:\n%+v\n%+v", results[2].Report, actual)
+	}
+
+	// Exactly one request per shared group pays (and reports) the
+	// capture; the reusing requests report zero emulate/collate, so
+	// stage timings sum correctly over the batch.
+	var paid int
+	for _, res := range results {
+		if res.Report.Stages.Emulate > 0 {
+			paid++
+		}
+	}
+	if paid != 1 {
+		t.Errorf("%d batch reports carry capture cost, want exactly 1", paid)
+	}
+}
