@@ -16,7 +16,10 @@ type Request struct {
 	// Workload is the training program to predict.
 	Workload Workload
 	// Options carries the same per-call knobs Predict accepts
-	// (WithModelFLOPs, WithDType, WithOracleAnnotation, ...).
+	// (WithModelFLOPs, WithDType, WithOracleAnnotation,
+	// WithStallBreakdown, ...). A WithTimeline recorder must be
+	// unique to its request: batch requests simulate concurrently,
+	// and a recorder shared between them would interleave runs.
 	Options []PredictOption
 }
 
@@ -46,9 +49,10 @@ func WithBatchConcurrency(n int) BatchOption {
 
 // captureKey identifies requests that can share one capture: same
 // workload value and same capture-relevant settings (collation
-// validation, silicon seed). Annotation knobs — oracle, netsim,
-// physical replay, FLOPs — do not affect the capture and may differ
-// freely within a group.
+// validation, silicon seed). Annotation and simulation knobs —
+// oracle, netsim, physical replay, FLOPs, timelines, stall
+// breakdowns — do not affect the capture and may differ freely
+// within a group.
 type captureKey struct {
 	w        Workload
 	validate bool
@@ -105,7 +109,8 @@ func (p *Predictor) batchCaptureKey(w Workload, s predictSettings) (captureKey, 
 // netsim, physical replay — simulates from the same Trace artifact.
 // A shared kernel-estimate memo additionally spans the whole batch,
 // so sweep configurations of one model skip forest inference their
-// predecessors already did.
+// predecessors already did, and every replay draws its simulation
+// engine from the process-wide pool instead of reallocating one.
 //
 // Per-request failures are isolated in their BatchResult. The
 // returned error is non-nil only when the whole batch is doomed —

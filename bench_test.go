@@ -92,6 +92,7 @@ func BenchmarkTable8KernelMAPEV100(b *testing.B)   { runExperiment(b, "table8") 
 func BenchmarkTable9KernelMAPEA40(b *testing.B)    { runExperiment(b, "table9") }
 func BenchmarkFig16SearchAlgorithms(b *testing.B)  { runExperiment(b, "fig16") }
 func BenchmarkTable10PruningTactics(b *testing.B)  { runExperiment(b, "table10") }
+func BenchmarkFig17StallBreakdown(b *testing.B)    { runExperiment(b, "fig17") }
 
 // --- Engine micro-benchmarks ---
 
@@ -119,9 +120,10 @@ func BenchmarkEmulateMegatronRank(b *testing.B) {
 	b.ReportMetric(float64(ops), "trace-ops")
 }
 
-// BenchmarkSimulate measures discrete-event simulation throughput on
-// an annotated 8-worker job.
-func BenchmarkSimulate(b *testing.B) {
+// simBenchJob builds the annotated 8-worker megatron job the
+// simulator micro-benchmarks replay, returning it with its op count.
+func simBenchJob(b *testing.B) (*trace.Job, int) {
+	b.Helper()
 	m, err := framework.NewMegatron(framework.MegatronConfig{
 		Model: models.GPT3_1_3B(), NGPUs: 8, GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4,
 	})
@@ -151,10 +153,35 @@ func BenchmarkSimulate(b *testing.B) {
 			totalOps++
 		}
 	}
+	return job, totalOps
+}
+
+// BenchmarkSimRun measures discrete-event simulation throughput on an
+// annotated 8-worker job, one fresh engine per run. The typed-event
+// loop keeps allocs/op in the hundreds where the closure-heap engine
+// paid two heap allocations per scheduled event (~62k on this
+// fixture).
+func BenchmarkSimRun(b *testing.B) {
+	job, totalOps := simBenchJob(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(context.Background(), job, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(totalOps)/float64(b.Elapsed().Seconds()/float64(b.N))/1e6, "Mops/s")
+}
+
+// BenchmarkSimRunPooled is BenchmarkSimRun through the engine pool —
+// the steady state of batch sweeps and search trials, where stream,
+// heap and interval storage is reused across runs.
+func BenchmarkSimRunPooled(b *testing.B) {
+	job, totalOps := simBenchJob(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunPooled(context.Background(), job, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

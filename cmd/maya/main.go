@@ -9,6 +9,14 @@
 //	maya simulate -trace job.mtrace
 //	maya simulate -trace job.mtrace -oracle
 //	maya simulate -trace job.mtrace -actual -flops 1.2e18
+//	maya simulate -trace job.mtrace -timeline run.json -breakdown
+//
+// -timeline records the simulated run at CUDA-API granularity and
+// writes a Chrome-trace JSON file: open it in chrome://tracing or
+// https://ui.perfetto.dev to see every kernel, collective, stall and
+// host stretch per worker and stream. -breakdown attributes each
+// worker's idle time (event waits, collective straggler waits,
+// host-bound stretches, pipeline bubbles) and prints the table.
 //
 // Bare flags (no verb) behave like "predict", preserving the old
 // interface.
@@ -100,6 +108,8 @@ func runPredict(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("maya predict", flag.ExitOnError)
 	recipe := addRecipeFlags(fs)
 	actual := fs.Bool("actual", false, "also measure on the synthetic silicon (ground truth)")
+	timeline := fs.String("timeline", "", "write the simulated run as Chrome-trace JSON to this file (chrome://tracing, Perfetto)")
+	breakdown := fs.Bool("breakdown", false, "attribute per-worker stall time (event/collective waits, host-bound, pipeline bubbles)")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	fatalIf(fs.Parse(args))
 
@@ -112,8 +122,18 @@ func runPredict(ctx context.Context, args []string) {
 	// measurement: -actual no longer re-pays emulation.
 	tr, err := pred.Capture(ctx, w)
 	fatalIf(err)
-	rep, err := pred.Simulate(ctx, tr, maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16))
+	opts := []maya.PredictOption{maya.WithModelFLOPs(flops), maya.WithDType(maya.BF16)}
+	var tl *maya.Timeline
+	if *timeline != "" {
+		tl = maya.NewTimeline()
+		opts = append(opts, maya.WithTimeline(tl))
+	}
+	if *breakdown {
+		opts = append(opts, maya.WithStallBreakdown())
+	}
+	rep, err := pred.Simulate(ctx, tr, opts...)
 	fatalIf(err)
+	writeTimeline(tl, *timeline)
 	// The predicted report keeps the full stage breakdown: this run
 	// did pay the capture, once.
 	cs := tr.CaptureStages()
@@ -133,9 +153,39 @@ func runPredict(ctx context.Context, args []string) {
 		return
 	}
 	fmt.Println(rep)
+	printStalls(rep)
 	if *actual {
 		fmt.Println(out["actual"])
 	}
+}
+
+// writeTimeline exports a recorded timeline, if one was requested.
+func writeTimeline(tl *maya.Timeline, path string) {
+	if tl == nil {
+		return
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	err = tl.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "maya: wrote timeline %s (%d events); open in chrome://tracing or ui.perfetto.dev\n", path, tl.Len())
+}
+
+// printStalls renders the per-worker stall attribution, if present.
+func printStalls(rep *maya.Report) {
+	if rep.Stalls == nil {
+		return
+	}
+	fmt.Println("stall breakdown (idle time per worker):")
+	fmt.Printf("  %-8s %12s %16s %12s %12s\n", "worker", "event-wait", "collective-wait", "host-bound", "bubble")
+	for i, s := range rep.Stalls.Workers {
+		fmt.Printf("  %-8d %12s %16s %12s %12s\n", i, s.EventWait, s.CollectiveWait, s.HostBound, s.Bubble)
+	}
+	t := rep.Stalls.Total()
+	fmt.Printf("  %-8s %12s %16s %12s %12s\n", "total", t.EventWait, t.CollectiveWait, t.HostBound, t.Bubble)
 }
 
 func runCapture(ctx context.Context, args []string) {
@@ -170,6 +220,8 @@ func runSimulate(ctx context.Context, args []string) {
 	netsim := fs.Bool("netsim", false, "model collectives with the hierarchical network simulator")
 	actual := fs.Bool("actual", false, "physical replay with ground truth (MeasureActual equivalent)")
 	flops := fs.Float64("flops", 0, "per-iteration model FLOPs (enables MFU)")
+	timeline := fs.String("timeline", "", "write the simulated run as Chrome-trace JSON to this file (chrome://tracing, Perfetto)")
+	breakdown := fs.Bool("breakdown", false, "attribute per-worker stall time (event/collective waits, host-bound, pipeline bubbles)")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	fatalIf(fs.Parse(args))
 
@@ -205,8 +257,17 @@ func runSimulate(ctx context.Context, args []string) {
 	if *netsim {
 		opts = append(opts, maya.WithNetSim())
 	}
+	var tl *maya.Timeline
+	if *timeline != "" {
+		tl = maya.NewTimeline()
+		opts = append(opts, maya.WithTimeline(tl))
+	}
+	if *breakdown {
+		opts = append(opts, maya.WithStallBreakdown())
+	}
 	rep, err := pred.Simulate(ctx, tr, opts...)
 	fatalIf(err)
+	writeTimeline(tl, *timeline)
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -215,6 +276,7 @@ func runSimulate(ctx context.Context, args []string) {
 		return
 	}
 	fmt.Println(rep)
+	printStalls(rep)
 }
 
 func fatalIf(err error) {

@@ -47,6 +47,14 @@ type Options struct {
 	Memo *estimator.KernelMemo
 	// Seed namespaces measurement randomness for actual runs.
 	Seed uint64
+	// Observer, when set, watches the simulation at CUDA-API
+	// granularity (e.g. a sim.Timeline recording a Chrome trace).
+	// Use one observer per run; it is not shared safely across
+	// concurrent calls.
+	Observer sim.Observer
+	// Breakdown attaches a stall-attribution observer to the run and
+	// fills Report.Stalls with the per-worker result.
+	Breakdown bool
 }
 
 // StageTimings records the wall-clock cost of each pipeline stage
@@ -85,6 +93,34 @@ type Report struct {
 	Stages        StageTimings
 	UniqueWorkers int
 	TotalWorkers  int
+
+	// Stalls attributes each worker's idle time (event waits,
+	// collective straggler waits, host-bound stretches, pipeline
+	// bubbles). Populated only when the run requested a breakdown
+	// (Options.Breakdown / maya.WithStallBreakdown); nil otherwise.
+	Stalls *StallProfile
+}
+
+// WorkerStall is one worker's stall attribution.
+type WorkerStall = sim.StallBreakdown
+
+// StallProfile is the per-worker stall attribution of one simulated
+// run — the Breakdown observer's result, indexed by simulated worker.
+type StallProfile struct {
+	Workers []WorkerStall
+}
+
+// Total sums the attribution across workers.
+func (s *StallProfile) Total() WorkerStall {
+	var t WorkerStall
+	for _, w := range s.Workers {
+		t.EventWait += w.EventWait
+		t.CollectiveWait += w.CollectiveWait
+		t.HostBound += w.HostBound
+		t.Bubble += w.Bubble
+		t.Busy += w.Busy
+	}
+	return t
 }
 
 func (r *Report) String() string {
@@ -194,14 +230,34 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 	rep.Stages.Estimate = time.Since(t0)
 
 	t0 = time.Now()
-	sr, err := sim.Run(ctx, job, sim.Options{Participants: c.Participants})
+	obs, bd := p.runObserver()
+	sr, err := sim.RunPooled(ctx, job, sim.Options{Participants: c.Participants, Observer: obs})
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating %s: %w", c.Workload, err)
 	}
 	rep.Stages.Simulate = time.Since(t0)
 
 	p.fill(rep, sr, modelFLOPs, dtype)
+	attachStalls(rep, bd, sr)
 	return rep, nil
+}
+
+// runObserver assembles the simulation observer for one run: the
+// caller-supplied one, plus a stall-attribution collector when the
+// pipeline asks for a breakdown.
+func (p *Pipeline) runObserver() (sim.Observer, *sim.Breakdown) {
+	if !p.Opts.Breakdown {
+		return p.Opts.Observer, nil
+	}
+	bd := sim.NewBreakdown()
+	return sim.Observers(p.Opts.Observer, bd), bd
+}
+
+// attachStalls resolves the breakdown collector into the report.
+func attachStalls(rep *Report, bd *sim.Breakdown, sr *sim.Report) {
+	if bd != nil {
+		rep.Stalls = &StallProfile{Workers: bd.Result(sr)}
+	}
 }
 
 // Measure replays the capture against the silicon ground truth in
@@ -218,12 +274,14 @@ func (p *Pipeline) Measure(ctx context.Context, c *Capture, oracle *silicon.Orac
 		return rep, nil
 	}
 	t0 := time.Now()
-	sr, err := silicon.MeasureActual(ctx, c.Job, oracle, c.Comms, c.CommSizes, c.Participants, p.Opts.Seed)
+	obs, bd := p.runObserver()
+	sr, err := silicon.MeasureActual(ctx, c.Job, oracle, c.Comms, c.CommSizes, c.Participants, p.Opts.Seed, obs)
 	if err != nil {
 		return nil, fmt.Errorf("core: measuring %s: %w", c.Workload, err)
 	}
 	rep.Stages.Simulate = time.Since(t0)
 	p.fill(rep, sr, modelFLOPs, dtype)
+	attachStalls(rep, bd, sr)
 	return rep, nil
 }
 

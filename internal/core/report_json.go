@@ -55,6 +55,27 @@ func (s *StageTimings) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// workerStallJSON is one worker's stall attribution: raw nanoseconds
+// as the authoritative values plus Go duration strings for humans.
+type workerStallJSON struct {
+	Worker int `json:"worker"`
+
+	EventWaitNS int64  `json:"event_wait_ns"`
+	EventWait   string `json:"event_wait"`
+
+	CollectiveWaitNS int64  `json:"collective_wait_ns"`
+	CollectiveWait   string `json:"collective_wait"`
+
+	HostBoundNS int64  `json:"host_bound_ns"`
+	HostBound   string `json:"host_bound"`
+
+	BubbleNS int64  `json:"bubble_ns"`
+	Bubble   string `json:"bubble"`
+
+	BusyNS int64  `json:"busy_ns"`
+	Busy   string `json:"busy"`
+}
+
 type reportJSON struct {
 	Workload string `json:"workload"`
 	Cluster  string `json:"cluster"`
@@ -78,12 +99,33 @@ type reportJSON struct {
 	Stages        StageTimings `json:"stages"`
 	UniqueWorkers int          `json:"unique_workers"`
 	TotalWorkers  int          `json:"total_workers"`
+
+	Stalls []workerStallJSON `json:"stalls,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // MarshalJSON implements json.Marshaler.
 func (r Report) MarshalJSON() ([]byte, error) {
+	var stalls []workerStallJSON
+	if r.Stalls != nil {
+		stalls = make([]workerStallJSON, len(r.Stalls.Workers))
+		for i, s := range r.Stalls.Workers {
+			stalls[i] = workerStallJSON{
+				Worker:           i,
+				EventWaitNS:      s.EventWait.Nanoseconds(),
+				EventWait:        s.EventWait.String(),
+				CollectiveWaitNS: s.CollectiveWait.Nanoseconds(),
+				CollectiveWait:   s.CollectiveWait.String(),
+				HostBoundNS:      s.HostBound.Nanoseconds(),
+				HostBound:        s.HostBound.String(),
+				BubbleNS:         s.Bubble.Nanoseconds(),
+				Bubble:           s.Bubble.String(),
+				BusyNS:           s.Busy.Nanoseconds(),
+				Busy:             s.Busy.String(),
+			}
+		}
+	}
 	return json.Marshal(reportJSON{
 		Workload:      r.Workload,
 		Cluster:       r.Cluster,
@@ -102,6 +144,7 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Stages:        r.Stages,
 		UniqueWorkers: r.UniqueWorkers,
 		TotalWorkers:  r.TotalWorkers,
+		Stalls:        stalls,
 	})
 }
 
@@ -124,6 +167,19 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Stages:        j.Stages,
 		UniqueWorkers: j.UniqueWorkers,
 		TotalWorkers:  j.TotalWorkers,
+	}
+	if len(j.Stalls) > 0 {
+		prof := &StallProfile{Workers: make([]WorkerStall, len(j.Stalls))}
+		for i, s := range j.Stalls {
+			prof.Workers[i] = WorkerStall{
+				EventWait:      time.Duration(s.EventWaitNS),
+				CollectiveWait: time.Duration(s.CollectiveWaitNS),
+				HostBound:      time.Duration(s.HostBoundNS),
+				Bubble:         time.Duration(s.BubbleNS),
+				Busy:           time.Duration(s.BusyNS),
+			}
+		}
+		r.Stalls = prof
 	}
 	return nil
 }

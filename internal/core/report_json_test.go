@@ -87,3 +87,57 @@ func TestReportJSONHumanReadableDurations(t *testing.T) {
 		t.Errorf("stages.total = %v, want %q", got, rep.Stages.Total().String())
 	}
 }
+
+func TestReportJSONStallBreakdown(t *testing.T) {
+	rep := sampleReport()
+	rep.Stalls = &StallProfile{Workers: []WorkerStall{
+		{EventWait: 2 * time.Millisecond, CollectiveWait: 30 * time.Millisecond,
+			HostBound: time.Millisecond, Bubble: 7 * time.Millisecond, Busy: 1200 * time.Millisecond},
+		{CollectiveWait: 11 * time.Millisecond, Busy: 1229 * time.Millisecond},
+	}}
+	data, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	s := string(data)
+	for _, field := range []string{
+		`"stalls"`, `"worker"`,
+		`"event_wait_ns"`, `"event_wait"`,
+		`"collective_wait_ns"`, `"collective_wait"`,
+		`"host_bound_ns"`, `"host_bound"`,
+		`"bubble_ns"`, `"bubble"`,
+		`"busy_ns"`, `"busy"`,
+	} {
+		if !strings.Contains(s, field) {
+			t.Errorf("stall JSON missing stable field %s in %s", field, s)
+		}
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Stalls == nil || len(got.Stalls.Workers) != 2 {
+		t.Fatalf("stalls did not round-trip: %+v", got.Stalls)
+	}
+	for i := range rep.Stalls.Workers {
+		if got.Stalls.Workers[i] != rep.Stalls.Workers[i] {
+			t.Errorf("worker %d stalls changed: got %+v want %+v",
+				i, got.Stalls.Workers[i], rep.Stalls.Workers[i])
+		}
+	}
+	// Totals aggregate across workers.
+	tot := got.Stalls.Total()
+	if tot.CollectiveWait != 41*time.Millisecond || tot.Busy != 2429*time.Millisecond {
+		t.Errorf("Total() = %+v", tot)
+	}
+
+	// Reports without a breakdown omit the field entirely — the
+	// contract's shape does not change for callers that never opt in.
+	plain, err := json.Marshal(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), `"stalls"`) {
+		t.Error("stalls field present on a report without a breakdown")
+	}
+}

@@ -466,12 +466,15 @@ func PhysicalOptions(seed uint64, participants map[trace.CollKey]int) sim.Option
 }
 
 // MeasureActual is "deploy the job on the cluster and time it": the
-// trace is annotated with ground truth and replayed in physical mode.
-// Cancelling ctx aborts both the annotation and the replay.
-func MeasureActual(ctx context.Context, job *trace.Job, oracle *Oracle, comms map[uint64][]int, sizes map[uint64]int, participants map[trace.CollKey]int, seed uint64) (*sim.Report, error) {
+// trace is annotated with ground truth and replayed in physical mode
+// on a pooled engine. An optional observer (nil for none) watches the
+// replay. Cancelling ctx aborts both the annotation and the replay.
+func MeasureActual(ctx context.Context, job *trace.Job, oracle *Oracle, comms map[uint64][]int, sizes map[uint64]int, participants map[trace.CollKey]int, seed uint64, obs sim.Observer) (*sim.Report, error) {
 	actual := job.Clone()
 	if err := oracle.Annotate(ctx, actual, comms, sizes); err != nil {
 		return nil, err
 	}
-	return sim.Run(ctx, actual, PhysicalOptions(seed, participants))
+	opts := PhysicalOptions(seed, participants)
+	opts.Observer = obs
+	return sim.RunPooled(ctx, actual, opts)
 }

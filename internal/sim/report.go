@@ -32,16 +32,23 @@ type Report struct {
 	ExposedComm []time.Duration
 }
 
-func (e *engine) buildReport() *Report {
+// buildReport snapshots the run into a Report. Every slice is a deep
+// copy: a report never aliases engine storage, so resetting or
+// pooling the engine cannot mutate a caller's report.
+func (e *Engine) buildReport() *Report {
 	n := len(e.hosts)
 	r := &Report{
 		HostEnd:     make([]time.Duration, n),
-		Marks:       e.marks,
+		Marks:       make([][]MarkAt, n),
 		ComputeBusy: make([]time.Duration, n),
 		CommBusy:    make([]time.Duration, n),
 		ExposedComm: make([]time.Duration, n),
 	}
-	for i, h := range e.hosts {
+	for i := range e.hosts {
+		h := &e.hosts[i]
+		if len(e.marks[i]) > 0 {
+			r.Marks[i] = append([]MarkAt(nil), e.marks[i]...)
+		}
 		end := h.t
 		for _, st := range e.byWorker[i] {
 			end = max(end, st.freeAt)
@@ -126,6 +133,54 @@ func overlapLen(a, b []interval) int64 {
 		}
 	}
 	return n
+}
+
+// complementWithin returns [0, end) minus the disjoint sorted set u —
+// the idle time of a worker whose busy union is u.
+func complementWithin(u []interval, end int64) []interval {
+	var out []interval
+	var cursor int64
+	for _, iv := range u {
+		if iv.start >= end {
+			break
+		}
+		if iv.start > cursor {
+			out = append(out, interval{start: cursor, end: iv.start})
+		}
+		if iv.end > cursor {
+			cursor = iv.end
+		}
+	}
+	if cursor < end {
+		out = append(out, interval{start: cursor, end: end})
+	}
+	return out
+}
+
+// subtractSets returns a \ b for disjoint sorted interval sets.
+func subtractSets(a, b []interval) []interval {
+	var out []interval
+	j := 0
+	for _, iv := range a {
+		lo := iv.start
+		for j < len(b) && b[j].end <= lo {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].start < iv.end {
+			if b[k].start > lo {
+				out = append(out, interval{start: lo, end: b[k].start})
+			}
+			if b[k].end > lo {
+				lo = b[k].end
+			}
+			k++
+		}
+		if lo < iv.end {
+			out = append(out, interval{start: lo, end: iv.end})
+		}
+	}
+	return out
 }
 
 // IterEnds returns, for each iteration boundary index, the latest

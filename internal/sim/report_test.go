@@ -69,3 +69,119 @@ func TestIterEndsTakeSlowestWorker(t *testing.T) {
 		t.Fatalf("steady iter = %v", got)
 	}
 }
+
+func TestUnionizeEdgeCases(t *testing.T) {
+	if got := unionize(nil); got != nil {
+		t.Fatalf("unionize(nil) = %v, want nil", got)
+	}
+	// Fully nested overlap collapses to the outer interval.
+	nested := []interval{{start: 0, end: 100}, {start: 10, end: 20}, {start: 30, end: 90}}
+	u := unionize(nested)
+	if len(u) != 1 || u[0].start != 0 || u[0].end != 100 {
+		t.Fatalf("nested union = %v, want [{0 100}]", u)
+	}
+	// Touching intervals merge (closed at the seam).
+	touching := []interval{{start: 0, end: 10}, {start: 10, end: 20}}
+	if u := unionize(touching); len(u) != 1 || u[0].end != 20 {
+		t.Fatalf("touching union = %v, want one [0,20)", u)
+	}
+	// Identical intervals count once.
+	same := []interval{{start: 5, end: 9}, {start: 5, end: 9}}
+	if got := unionLen(unionize(same)); got != 4 {
+		t.Fatalf("duplicate union length = %d, want 4", got)
+	}
+}
+
+func TestBusyStatsZeroLengthIntervals(t *testing.T) {
+	// Zero- and negative-length intervals (instantaneous ops, clamped
+	// durations) must not contribute to busy time or crash unionize.
+	ivs := []interval{
+		{start: 5, end: 5},
+		{start: 9, end: 7},
+		{start: 0, end: 10},
+		{start: 3, end: 3, comm: true},
+	}
+	comp, comm, exposed := busyStats(ivs)
+	if comp != 10 || comm != 0 || exposed != 0 {
+		t.Fatalf("comp/comm/exposed = %v/%v/%v, want 10/0/0", comp, comm, exposed)
+	}
+}
+
+func TestBusyStatsCommOnlyWorker(t *testing.T) {
+	// A worker that only communicates (a relay rank): all comm time is
+	// exposed, compute is zero.
+	ivs := []interval{
+		{start: 0, end: 40, comm: true},
+		{start: 10, end: 60, comm: true},
+	}
+	comp, comm, exposed := busyStats(ivs)
+	if comp != 0 {
+		t.Fatalf("compute = %v, want 0", comp)
+	}
+	if comm != 60 || exposed != 60 {
+		t.Fatalf("comm/exposed = %v/%v, want 60/60 (nothing hides it)", comm, exposed)
+	}
+}
+
+func TestBusyStatsFullyNestedCommInsideCompute(t *testing.T) {
+	ivs := []interval{
+		{start: 0, end: 100},
+		{start: 20, end: 30, comm: true}, // fully hidden
+		{start: 40, end: 50, comm: true}, // fully hidden
+	}
+	comp, comm, exposed := busyStats(ivs)
+	if comp != 100 || comm != 20 || exposed != 0 {
+		t.Fatalf("comp/comm/exposed = %v/%v/%v, want 100/20/0", comp, comm, exposed)
+	}
+}
+
+func TestComplementWithin(t *testing.T) {
+	u := []interval{{start: 10, end: 20}, {start: 30, end: 40}}
+	got := complementWithin(u, 50)
+	want := []interval{{start: 0, end: 10}, {start: 20, end: 30}, {start: 40, end: 50}}
+	if len(got) != len(want) {
+		t.Fatalf("complement = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].start != want[i].start || got[i].end != want[i].end {
+			t.Fatalf("complement = %v, want %v", got, want)
+		}
+	}
+	if got := complementWithin(nil, 25); len(got) != 1 || got[0].start != 0 || got[0].end != 25 {
+		t.Fatalf("complement of empty = %v, want [{0 25}]", got)
+	}
+	// Busy set covering the whole span leaves nothing.
+	if got := complementWithin([]interval{{start: 0, end: 25}}, 25); len(got) != 0 {
+		t.Fatalf("complement of full cover = %v, want empty", got)
+	}
+	// Busy beyond the span is clipped out entirely.
+	if got := complementWithin([]interval{{start: 30, end: 40}}, 25); len(got) != 1 || got[0].end != 25 {
+		t.Fatalf("complement with out-of-span busy = %v", got)
+	}
+}
+
+func TestSubtractSets(t *testing.T) {
+	a := []interval{{start: 0, end: 10}, {start: 20, end: 30}}
+	b := []interval{{start: 5, end: 25}}
+	got := subtractSets(a, b)
+	want := []interval{{start: 0, end: 5}, {start: 25, end: 30}}
+	if len(got) != len(want) {
+		t.Fatalf("subtract = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].start != want[i].start || got[i].end != want[i].end {
+			t.Fatalf("subtract = %v, want %v", got, want)
+		}
+	}
+	// b splitting a into three pieces.
+	got = subtractSets([]interval{{start: 0, end: 30}}, []interval{{start: 5, end: 10}, {start: 15, end: 20}})
+	if len(got) != 3 || got[1].start != 10 || got[1].end != 15 {
+		t.Fatalf("split subtract = %v", got)
+	}
+	if got := subtractSets(a, nil); len(got) != 2 {
+		t.Fatalf("subtract nothing = %v, want a itself", got)
+	}
+	if got := subtractSets(nil, b); len(got) != 0 {
+		t.Fatalf("subtract from empty = %v, want empty", got)
+	}
+}

@@ -23,12 +23,32 @@
 // overlapping compute and communication. The synthetic-silicon ground
 // truth runs in that mode, so predicted-vs-actual experiments face
 // the same reality gap the paper's do (§8, SM Contention).
+//
+// # The engine
+//
+// The event loop is a typed one: every scheduled occurrence is a
+// plain simEvent value (kind + stream/host payload) on a slice-backed
+// binary heap, dispatched by a switch. Nothing in the hot loop
+// allocates — no closures, no interface boxing — which matters
+// because sim.Run is the inner loop of capture-reuse sweeps and
+// recipe searches that replay the same trace thousands of times.
+//
+// An Engine is reusable: Reset rebinds it to a new job while keeping
+// every map and slice it has ever grown, and RunPooled draws engines
+// from a sync.Pool so back-to-back simulations reuse storage instead
+// of reallocating it. Reports never alias engine storage — they are
+// safe to keep after the engine is reset or pooled.
+//
+// An Observer (see observer.go) can be attached through Options to
+// watch the run at CUDA-API granularity; a nil observer costs one
+// predictable branch per event.
 package sim
 
 import (
-	"container/heap"
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"maya/internal/prand"
@@ -42,6 +62,12 @@ type Options struct {
 	// deduplicated jobs simulate only unique workers. Nil means every
 	// call waits for all traced participants.
 	Participants map[trace.CollKey]int
+
+	// Observer, when non-nil, receives engine callbacks at CUDA-API
+	// granularity (op start/end, collective fires, stream stalls).
+	// Observers watch; they must not retain the *trace.Op pointers
+	// beyond the callback. A nil observer adds no per-event cost.
+	Observer Observer
 
 	// Physical-mode knobs (ground truth only; zero for prediction).
 
@@ -61,9 +87,30 @@ type Options struct {
 // an invalid workload rather than a simulator bug. The event loop
 // observes ctx: a cancelled simulation stops promptly and returns
 // ctx.Err().
+//
+// Run builds a fresh Engine per call. Callers that simulate in a
+// loop should prefer RunPooled, which reuses engine storage.
 func Run(ctx context.Context, job *trace.Job, opts Options) (*Report, error) {
-	e := newEngine(job, opts)
-	return e.run(ctx)
+	e := NewEngine()
+	e.Reset(job, opts)
+	return e.Run(ctx)
+}
+
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// RunPooled is Run backed by a process-wide engine pool: stream,
+// host, heap and interval storage is reused across calls, so
+// back-to-back simulations (batch sweeps, search trials,
+// annotate-many over one capture) run allocation-free at steady
+// state. Results are identical to Run's. Safe for concurrent use —
+// each call owns its engine for the duration.
+func RunPooled(ctx context.Context, job *trace.Job, opts Options) (*Report, error) {
+	e := enginePool.Get().(*Engine)
+	e.Reset(job, opts)
+	rep, err := e.Run(ctx)
+	e.scrub() // drop references to caller data before pooling
+	enginePool.Put(e)
+	return rep, err
 }
 
 type eventKey struct {
@@ -85,11 +132,18 @@ type streamState struct {
 
 	freeAt     int64
 	running    bool
-	stalledEv  *eventKey
+	stalledEv  bool
 	stalledCol bool
+	waitKey    eventKey // the event a stalledEv stream waits for
 	stallStart int64
 
-	// Running-op bookkeeping for SM-contention stretching.
+	// nextWait chains streams waiting on the same event (the wait
+	// map's FIFO release order) without allocating waiter slices.
+	nextWait *streamState
+
+	// Running-op bookkeeping for SM-contention stretching and the
+	// OpEnd observer callback.
+	curOp     *trace.Op
 	curStart  int64
 	curEnd    int64
 	curKernel bool
@@ -98,7 +152,7 @@ type streamState struct {
 }
 
 func (st *streamState) drained() bool {
-	return !st.running && st.stalledEv == nil && !st.stalledCol && st.head == len(st.queue)
+	return !st.running && !st.stalledEv && !st.stalledCol && st.head == len(st.queue)
 }
 
 type hostWait uint8
@@ -134,49 +188,82 @@ type interval struct {
 	comm       bool
 }
 
+// evKind discriminates scheduled events. The event loop is a switch
+// over these instead of a heap of closures: a simEvent is a plain
+// value, so scheduling allocates nothing.
+type evKind uint8
+
+const (
+	evHostRun    evKind = iota // (re-)enter a worker's host dispatch loop
+	evOpEnd                    // a timed device op completed (arg = epoch)
+	evStreamKick               // resume an event-released stream
+	evCollDone                 // a collective finished (arg = its start time)
+)
+
+// simEvent is one scheduled occurrence: a kind, its due time, a
+// tie-breaking sequence number, and the payload the kind needs.
 type simEvent struct {
-	t   int64
-	seq int64
-	fn  func()
+	t    int64
+	seq  int64
+	arg  int64
+	st   *streamState
+	host *hostState
+	kind evKind
 }
 
-type eventHeap []simEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func eventBefore(a, b simEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 type streamKey struct {
 	w int
 	s int64
 }
 
-type engine struct {
+// waitList is the FIFO of streams parked on one event key, chained
+// intrusively through streamState.nextWait.
+type waitList struct {
+	head, tail *streamState
+}
+
+// Engine is a reusable simulator instance. The zero value is not
+// ready; construct with NewEngine. The lifecycle is
+//
+//	e := NewEngine()
+//	e.Reset(job, opts)
+//	report, err := e.Run(ctx)
+//	e.Reset(nextJob, opts) // storage from the first run is reused
+//	...
+//
+// An Engine is single-goroutine: Reset and Run must not be called
+// concurrently. Reports returned by Run never alias engine storage,
+// so they stay valid after the engine is reset, pooled or dropped.
+type Engine struct {
 	job  *trace.Job
 	opts Options
+	obs  Observer
 
-	pq    eventHeap
+	pq    []simEvent
 	evSeq int64
 	now   int64
 
-	hosts   []*hostState
-	streams map[streamKey]*streamState
-	// byWorker lists the streams each worker has touched, for
-	// device-wide synchronization and drain checks.
-	byWorker [][]*streamState
+	hosts []hostState
+	// streams indexes every (worker, stream-handle) pair touched;
+	// byWorker lists them in creation order for device-wide
+	// synchronization, drain checks and deterministic iteration.
+	streams     map[streamKey]*streamState
+	byWorker    [][]*streamState
+	freeStreams []*streamState
 
 	events        map[eventKey]int64
-	evWaitStreams map[eventKey][]*streamState
-	evWaitHosts   map[eventKey][]*hostState
+	evWaitStreams map[eventKey]waitList
+	evWaitHosts   map[eventKey]*hostState
 
 	colls        map[trace.CollKey]*collGroup
+	freeColls    []*collGroup
 	participants map[trace.CollKey]int
 	// activeColls tracks, per worker, the fired-but-unfinished
 	// collective intervals, for SM-contention overlap queries.
@@ -186,6 +273,7 @@ type engine struct {
 	marks     [][]MarkAt
 
 	rng jitterSource
+	ran bool
 }
 
 type jitterSource struct {
@@ -206,47 +294,175 @@ func (j jitterSource) factor(a, b int64) float64 {
 	return f
 }
 
-func newEngine(job *trace.Job, opts Options) *engine {
-	n := len(job.Workers)
-	e := &engine{
-		job:           job,
-		opts:          opts,
+// NewEngine returns an empty engine ready for Reset.
+func NewEngine() *Engine {
+	return &Engine{
 		streams:       make(map[streamKey]*streamState),
-		byWorker:      make([][]*streamState, n),
 		events:        make(map[eventKey]int64),
-		evWaitStreams: make(map[eventKey][]*streamState),
-		evWaitHosts:   make(map[eventKey][]*hostState),
+		evWaitStreams: make(map[eventKey]waitList),
+		evWaitHosts:   make(map[eventKey]*hostState),
 		colls:         make(map[trace.CollKey]*collGroup),
-		participants:  opts.Participants,
-		activeColls:   make([][]interval, n),
-		intervals:     make([][]interval, n),
-		marks:         make([][]MarkAt, n),
-		rng:           jitterSource{frac: opts.JitterFrac, seed: opts.Seed},
 	}
-	e.hosts = make([]*hostState, n)
+}
+
+// scrub recycles per-run state and drops every reference to caller
+// data (the job, its ops, the observer), so a pooled or idle engine
+// never pins a trace in memory. It leaves grown storage — maps keep
+// their buckets, slices their capacity — for the next Reset.
+func (e *Engine) scrub() {
+	e.job = nil
+	e.obs = nil
+	e.opts = Options{}
+	e.participants = nil
+	clear(e.pq)
+	e.pq = e.pq[:0]
+	e.evSeq, e.now = 0, 0
+	for i := range e.hosts {
+		e.hosts[i] = hostState{}
+	}
+	for w := range e.byWorker {
+		for _, st := range e.byWorker[w] {
+			q := st.queue
+			clear(q)
+			*st = streamState{queue: q[:0]}
+			e.freeStreams = append(e.freeStreams, st)
+		}
+		e.byWorker[w] = e.byWorker[w][:0]
+		e.activeColls[w] = e.activeColls[w][:0]
+		e.intervals[w] = e.intervals[w][:0]
+		clear(e.marks[w])
+		e.marks[w] = e.marks[w][:0]
+	}
+	clear(e.streams)
+	clear(e.events)
+	clear(e.evWaitStreams)
+	clear(e.evWaitHosts)
+	for _, g := range e.colls {
+		e.recycleColl(g)
+	}
+	clear(e.colls)
+}
+
+// Reset rebinds the engine to a job, reusing all storage grown by
+// previous runs. The job must stay immutable for the duration of the
+// following Run; the engine only reads it.
+func (e *Engine) Reset(job *trace.Job, opts Options) {
+	e.scrub()
+	e.job = job
+	e.opts = opts
+	e.obs = opts.Observer
+	e.ran = false
+	e.rng = jitterSource{frac: opts.JitterFrac, seed: opts.Seed}
+
+	n := len(job.Workers)
+	if cap(e.hosts) < n {
+		e.hosts = make([]hostState, n)
+	}
+	e.hosts = e.hosts[:n]
 	for i, w := range job.Workers {
-		e.hosts[i] = &hostState{w: i, ops: w.Ops}
+		e.hosts[i] = hostState{w: i, ops: w.Ops}
 	}
+	e.byWorker = resizeGrid(e.byWorker, n)
+	e.activeColls = resizeGrid(e.activeColls, n)
+	e.intervals = resizeGrid(e.intervals, n)
+	e.marks = resizeGrid(e.marks, n)
+
+	e.participants = opts.Participants
 	if e.participants == nil {
 		e.participants = trace.Participation(job)
 	}
-	return e
 }
 
-func (e *engine) schedule(t int64, fn func()) {
+// resizeGrid sets the outer slice to n reusable empty rows.
+func resizeGrid[T any](g [][]T, n int) [][]T {
+	if cap(g) < n {
+		return make([][]T, n)
+	}
+	g = g[:n]
+	for i := range g {
+		g[i] = g[i][:0]
+	}
+	return g
+}
+
+// push schedules an event, assigning the tie-breaking sequence
+// number, and restores the heap by sifting up.
+func (e *Engine) push(ev simEvent) {
 	e.evSeq++
-	heap.Push(&e.pq, simEvent{t: t, seq: e.evSeq, fn: fn})
+	ev.seq = e.evSeq
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(e.pq[i], e.pq[parent]) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
 }
 
-func (e *engine) stream(w int, id int64) *streamState {
+// pop removes and returns the earliest event. (t, seq) is a strict
+// total order, so the pop sequence is independent of heap layout.
+func (e *Engine) pop() simEvent {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = simEvent{} // drop stream/host refs from the tail slot
+	e.pq = e.pq[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && eventBefore(e.pq[l], e.pq[least]) {
+			least = l
+		}
+		if r < n && eventBefore(e.pq[r], e.pq[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		e.pq[i], e.pq[least] = e.pq[least], e.pq[i]
+		i = least
+	}
+	return top
+}
+
+func (e *Engine) stream(w int, id int64) *streamState {
 	k := streamKey{w, id}
 	st, ok := e.streams[k]
 	if !ok {
-		st = &streamState{w: w, id: id}
+		if n := len(e.freeStreams); n > 0 {
+			st = e.freeStreams[n-1]
+			e.freeStreams[n-1] = nil
+			e.freeStreams = e.freeStreams[:n-1]
+		} else {
+			st = &streamState{}
+		}
+		st.w, st.id = w, id
 		e.streams[k] = st
 		e.byWorker[w] = append(e.byWorker[w], st)
 	}
 	return st
+}
+
+func (e *Engine) collGroup() *collGroup {
+	if n := len(e.freeColls); n > 0 {
+		g := e.freeColls[n-1]
+		e.freeColls[n-1] = nil
+		e.freeColls = e.freeColls[:n-1]
+		return g
+	}
+	return &collGroup{}
+}
+
+func (e *Engine) recycleColl(g *collGroup) {
+	clear(g.arrived)
+	g.arrived = g.arrived[:0]
+	g.arriveAt = g.arriveAt[:0]
+	g.dur, g.expected = 0, 0
+	e.freeColls = append(e.freeColls, g)
 }
 
 // ctxCheckEvery bounds how many events run between cancellation
@@ -254,33 +470,55 @@ func (e *engine) stream(w int, id int64) *streamState {
 // enough that cancelled simulations return within milliseconds.
 const ctxCheckEvery = 1 << 13
 
-func (e *engine) run(ctx context.Context) (*Report, error) {
-	for _, h := range e.hosts {
-		hh := h
-		e.schedule(0, func() { e.runHost(hh) })
+// Run executes the event loop for the job bound by the last Reset
+// and returns its report. Each Reset admits exactly one Run.
+func (e *Engine) Run(ctx context.Context) (*Report, error) {
+	if e.job == nil {
+		return nil, errors.New("sim: Engine.Run before Reset")
+	}
+	if e.ran {
+		return nil, errors.New("sim: Engine.Run called twice without Reset")
+	}
+	e.ran = true
+	for i := range e.hosts {
+		e.push(simEvent{t: 0, kind: evHostRun, host: &e.hosts[i]})
 	}
 	var processed int
-	for e.pq.Len() > 0 {
+	for len(e.pq) > 0 {
 		if processed%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
 		processed++
-		ev := heap.Pop(&e.pq).(simEvent)
+		ev := e.pop()
 		e.now = ev.t
-		ev.fn()
+		switch ev.kind {
+		case evHostRun:
+			e.runHost(ev.host)
+		case evOpEnd:
+			e.opEnd(ev.st, ev.arg)
+		case evStreamKick:
+			e.kickStream(ev.st)
+		case evCollDone:
+			e.collDone(ev.st, ev.arg, ev.t)
+		}
 	}
-	for _, h := range e.hosts {
+	for i := range e.hosts {
+		h := &e.hosts[i]
 		if !h.done {
-			return nil, fmt.Errorf("sim: deadlock: worker %d blocked at op %d/%d (%s) t=%s",
-				h.w, h.pos, len(h.ops), e.blockReason(h), time.Duration(h.t))
+			return nil, e.deadlockError(h)
 		}
 	}
 	return e.buildReport(), nil
 }
 
-func (e *engine) blockReason(h *hostState) string {
+// deadlockError names the first blocked worker and, per stalled
+// stream, the exact blocking key — the event version or collective
+// key the run is waiting for. Workers and streams are visited in
+// deterministic (creation) order, so the same invalid trace always
+// produces the same message.
+func (e *Engine) deadlockError(h *hostState) error {
 	var why string
 	switch h.wait {
 	case waitEvent:
@@ -299,23 +537,28 @@ func (e *engine) blockReason(h *hostState) string {
 		switch {
 		case st.stalledCol:
 			op := st.queue[st.head].op
-			why += fmt.Sprintf("; stream %d stalled in %s comm=%#x seq=%d (%d/%d joined)",
-				st.id, op.Coll.Op, op.Coll.CommID, op.Coll.Seq,
-				len(e.colls[trace.CollKeyOf(op)].arrived), e.colls[trace.CollKeyOf(op)].expected)
-		case st.stalledEv != nil:
-			why += fmt.Sprintf("; stream %d waiting for event %d v%d", st.id, st.stalledEv.ev, st.stalledEv.ver)
+			if g := e.colls[trace.CollKeyOf(op)]; g != nil {
+				why += fmt.Sprintf("; stream %d stalled in %s comm=%#x seq=%d (%d/%d joined)",
+					st.id, op.Coll.Op, op.Coll.CommID, op.Coll.Seq, len(g.arrived), g.expected)
+			} else {
+				why += fmt.Sprintf("; stream %d stalled in %s comm=%#x seq=%d (in flight)",
+					st.id, op.Coll.Op, op.Coll.CommID, op.Coll.Seq)
+			}
+		case st.stalledEv:
+			why += fmt.Sprintf("; stream %d waiting for event %d v%d", st.id, st.waitKey.ev, st.waitKey.ver)
 		case st.running:
 			why += fmt.Sprintf("; stream %d running (%d/%d ops)", st.id, st.head, len(st.queue))
 		default:
 			why += fmt.Sprintf("; stream %d pending %d/%d ops", st.id, st.head, len(st.queue))
 		}
 	}
-	return why
+	return fmt.Errorf("sim: deadlock: worker %d blocked at op %d/%d (%s) t=%s",
+		h.w, h.pos, len(h.ops), why, time.Duration(h.t))
 }
 
 // runHost advances one worker's host thread until it finishes or
 // blocks on a synchronization call.
-func (e *engine) runHost(h *hostState) {
+func (e *Engine) runHost(h *hostState) {
 	h.scheduled = false
 	if h.done {
 		return
@@ -324,12 +567,18 @@ func (e *engine) runHost(h *hostState) {
 		op := &h.ops[h.pos]
 		switch op.Kind {
 		case trace.KindHostDelay:
+			if e.obs != nil {
+				e.obs.HostDelay(h.w, h.t, h.t+int64(op.Dur))
+			}
 			h.t += int64(op.Dur)
 			h.pos++
 		case trace.KindMalloc, trace.KindFree:
 			h.pos++
 		case trace.KindMark:
 			e.marks[h.w] = append(e.marks[h.w], MarkAt{Label: op.Name, At: time.Duration(h.t)})
+			if e.obs != nil {
+				e.obs.Mark(h.w, op.Name, h.t)
+			}
 			h.pos++
 		case trace.KindEventSync:
 			if op.EventVer == 0 {
@@ -343,7 +592,7 @@ func (e *engine) runHost(h *hostState) {
 				continue
 			}
 			h.wait = waitEvent
-			e.evWaitHosts[k] = append(e.evWaitHosts[k], h)
+			e.evWaitHosts[k] = h
 			return
 		case trace.KindStreamSync:
 			st := e.stream(h.w, op.Stream)
@@ -385,7 +634,7 @@ func (e *engine) runHost(h *hostState) {
 
 // deviceDrained reports whether all streams of worker w are idle and
 // empty, returning the latest completion time.
-func (e *engine) deviceDrained(w int) (int64, bool) {
+func (e *Engine) deviceDrained(w int) (int64, bool) {
 	var t int64
 	for _, st := range e.byWorker[w] {
 		if !st.drained() {
@@ -398,8 +647,8 @@ func (e *engine) deviceDrained(w int) (int64, bool) {
 
 // kickStream lets a stream consume queued ops until it starts timed
 // work, stalls, or empties.
-func (e *engine) kickStream(st *streamState) {
-	if st.running || st.stalledEv != nil || st.stalledCol {
+func (e *Engine) kickStream(st *streamState) {
+	if st.running || st.stalledEv || st.stalledCol {
 		return
 	}
 	for st.head < len(st.queue) {
@@ -422,10 +671,13 @@ func (e *engine) kickStream(st *streamState) {
 				st.freeAt = max(start, tc)
 				continue
 			}
-			kk := k
-			st.stalledEv = &kk
+			st.stalledEv = true
+			st.waitKey = k
 			st.stallStart = start
-			e.evWaitStreams[k] = append(e.evWaitStreams[k], st)
+			e.parkStream(k, st)
+			if e.obs != nil {
+				e.obs.StallBegin(st.w, st.id, StallEvent, start)
+			}
 			e.notifyDrain(st.w)
 			return
 		case trace.KindCollective:
@@ -433,6 +685,9 @@ func (e *engine) kickStream(st *streamState) {
 			// completion event scheduled by the wait map advances it.
 			st.stalledCol = true
 			st.stallStart = start
+			if e.obs != nil {
+				e.obs.StallBegin(st.w, st.id, StallCollective, start)
+			}
 			e.joinCollective(st, op, start)
 			return
 		default:
@@ -446,19 +701,34 @@ func (e *engine) kickStream(st *streamState) {
 			st.head++
 			st.running = true
 			st.freeAt = end
+			st.curOp = op
 			st.curStart, st.curEnd, st.curKernel = start, end, isKernel
 			st.curIval = len(e.intervals[st.w])
 			e.intervals[st.w] = append(e.intervals[st.w], interval{start: start, end: end})
-			epoch := st.epoch
-			e.schedule(end, func() { e.opEnd(st, epoch) })
+			if e.obs != nil {
+				e.obs.OpStart(st.w, st.id, op, start, end)
+			}
+			e.push(simEvent{t: end, kind: evOpEnd, st: st, arg: st.epoch})
 			return
 		}
 	}
 	e.notifyDrain(st.w)
 }
 
+// parkStream appends the stream to the event key's FIFO wait list.
+func (e *Engine) parkStream(k eventKey, st *streamState) {
+	wl := e.evWaitStreams[k]
+	if wl.head == nil {
+		wl.head = st
+	} else {
+		wl.tail.nextWait = st
+	}
+	wl.tail = st
+	e.evWaitStreams[k] = wl
+}
+
 // duration applies jitter to an op's annotated time.
-func (e *engine) duration(op *trace.Op, w int) int64 {
+func (e *Engine) duration(op *trace.Op, w int) int64 {
 	d := int64(op.Dur)
 	if d < 0 {
 		d = 0
@@ -471,18 +741,35 @@ func (e *engine) duration(op *trace.Op, w int) int64 {
 
 // opEnd completes a timed op; stale epochs identify completions that
 // were superseded by a contention stretch.
-func (e *engine) opEnd(st *streamState, epoch int64) {
+func (e *Engine) opEnd(st *streamState, epoch int64) {
 	if st.epoch != epoch {
 		return
 	}
 	st.running = false
+	if e.obs != nil {
+		e.obs.OpEnd(st.w, st.id, st.curOp, st.curStart, st.curEnd)
+	}
+	st.curOp = nil
+	e.kickStream(st)
+	e.notifyDrain(st.w)
+}
+
+// collDone completes a collective for one participant: the interval
+// [startAt, end) was its on-the-wire time.
+func (e *Engine) collDone(st *streamState, startAt, end int64) {
+	if e.opts.CommContention > 0 {
+		e.dropActiveColl(st.w, startAt, end)
+	}
+	st.stalledCol = false
+	st.head++
+	st.freeAt = max(st.freeAt, end)
 	e.kickStream(st)
 	e.notifyDrain(st.w)
 }
 
 // contentionExtra returns the added runtime for a kernel on worker w
 // spanning [start, start+dur) given the collectives already in flight.
-func (e *engine) contentionExtra(w int, start, dur int64) int64 {
+func (e *Engine) contentionExtra(w int, start, dur int64) int64 {
 	var overlap int64
 	for _, iv := range e.activeColls[w] {
 		lo := max(start, iv.start)
@@ -497,7 +784,7 @@ func (e *engine) contentionExtra(w int, start, dur int64) int64 {
 // stretchRunning extends kernels already executing on worker w that
 // overlap a newly fired collective interval — SM contention works in
 // both directions in the physical model.
-func (e *engine) stretchRunning(w int, cs, ce int64) {
+func (e *Engine) stretchRunning(w int, cs, ce int64) {
 	for _, st := range e.byWorker[w] {
 		if !st.running || !st.curKernel {
 			continue
@@ -515,53 +802,52 @@ func (e *engine) stretchRunning(w int, cs, ce int64) {
 		st.curEnd += extra
 		st.freeAt = st.curEnd
 		e.intervals[w][st.curIval].end = st.curEnd
-		epoch := st.epoch
-		end := st.curEnd
-		sst := st
-		e.schedule(end, func() { e.opEnd(sst, epoch) })
+		e.push(simEvent{t: st.curEnd, kind: evOpEnd, st: st, arg: st.epoch})
 	}
 }
 
 // completeEvent records an event completion and releases its waiters
 // (Algorithm 3, CudaEventWaitMap.ReleaseWaiters).
-func (e *engine) completeEvent(k eventKey, t int64) {
+func (e *Engine) completeEvent(k eventKey, t int64) {
 	e.events[k] = t
-	if ws := e.evWaitStreams[k]; len(ws) > 0 {
+	if wl, ok := e.evWaitStreams[k]; ok {
 		delete(e.evWaitStreams, k)
-		for _, st := range ws {
-			sst := st
-			resume := max(sst.stallStart, t)
-			sst.stalledEv = nil
-			sst.head++
-			sst.freeAt = max(sst.freeAt, resume)
-			e.schedule(resume, func() { e.kickStream(sst) })
+		for st := wl.head; st != nil; {
+			next := st.nextWait
+			st.nextWait = nil
+			resume := max(st.stallStart, t)
+			st.stalledEv = false
+			st.head++
+			st.freeAt = max(st.freeAt, resume)
+			if e.obs != nil {
+				e.obs.StallEnd(st.w, st.id, StallEvent, st.stallStart, resume)
+			}
+			e.push(simEvent{t: resume, kind: evStreamKick, st: st})
+			st = next
 		}
 	}
-	if hs := e.evWaitHosts[k]; len(hs) > 0 {
+	if h, ok := e.evWaitHosts[k]; ok {
 		delete(e.evWaitHosts, k)
-		for _, h := range hs {
-			hh := h
-			resume := max(hh.t, t)
-			hh.wait = waitNone
-			hh.t = resume
-			hh.pos++
-			e.scheduleHost(hh, resume)
-		}
+		resume := max(h.t, t)
+		h.wait = waitNone
+		h.t = resume
+		h.pos++
+		e.scheduleHost(h, resume)
 	}
 }
 
-func (e *engine) scheduleHost(h *hostState, t int64) {
+func (e *Engine) scheduleHost(h *hostState, t int64) {
 	if h.scheduled {
 		return
 	}
 	h.scheduled = true
-	e.schedule(t, func() { e.runHost(h) })
+	e.push(simEvent{t: t, kind: evHostRun, host: h})
 }
 
 // notifyDrain re-checks hosts of worker w that block on stream or
 // device synchronization.
-func (e *engine) notifyDrain(w int) {
-	h := e.hosts[w]
+func (e *Engine) notifyDrain(w int) {
+	h := &e.hosts[w]
 	switch h.wait {
 	case waitStream:
 		if h.waitStream.drained() {
@@ -585,15 +871,16 @@ func (e *engine) notifyDrain(w int) {
 
 // joinCollective implements the NetworkCollectiveWaitMap: the stream
 // registers and stalls; the final participant releases the group.
-func (e *engine) joinCollective(st *streamState, op *trace.Op, arrive int64) {
+func (e *Engine) joinCollective(st *streamState, op *trace.Op, arrive int64) {
 	key := trace.CollKeyOf(op)
 	g, ok := e.colls[key]
 	if !ok {
+		g = e.collGroup()
 		exp := e.participants[key]
 		if exp <= 0 {
 			exp = 1
 		}
-		g = &collGroup{expected: exp}
+		g.expected = exp
 		e.colls[key] = g
 	}
 	g.arrived = append(g.arrived, st)
@@ -613,29 +900,25 @@ func (e *engine) joinCollective(st *streamState, op *trace.Op, arrive int64) {
 		dur = int64(float64(dur) * e.rng.factor(int64(key.Comm), int64(key.Seq)))
 	}
 	end := startAt + dur
-	for _, part := range g.arrived {
-		p := part
+	for i, p := range g.arrived {
 		e.intervals[p.w] = append(e.intervals[p.w], interval{start: startAt, end: end, comm: true})
 		if e.opts.CommContention > 0 {
 			e.activeColls[p.w] = append(e.activeColls[p.w], interval{start: startAt, end: end})
 			e.stretchRunning(p.w, startAt, end)
 		}
-		e.schedule(end, func() {
-			if e.opts.CommContention > 0 {
-				e.dropActiveColl(p.w, startAt, end)
-			}
-			p.stalledCol = false
-			p.head++
-			p.freeAt = max(p.freeAt, end)
-			e.kickStream(p)
-			e.notifyDrain(p.w)
-		})
+		if e.obs != nil {
+			pop := p.queue[p.head].op
+			e.obs.StallEnd(p.w, p.id, StallCollective, g.arriveAt[i], startAt)
+			e.obs.CollectiveFired(p.w, p.id, pop, key, startAt, end)
+		}
+		e.push(simEvent{t: end, kind: evCollDone, st: p, arg: startAt})
 	}
+	e.recycleColl(g)
 }
 
 // dropActiveColl removes one finished collective interval from the
 // worker's active list.
-func (e *engine) dropActiveColl(w int, cs, ce int64) {
+func (e *Engine) dropActiveColl(w int, cs, ce int64) {
 	list := e.activeColls[w]
 	for i := range list {
 		if list[i].start == cs && list[i].end == ce {

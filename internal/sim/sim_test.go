@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -379,5 +380,254 @@ func TestPipelineBubbleEmergesFromP2P(t *testing.T) {
 	// Stage 1: recv0 done 11, k ends 21, recv1 at max(21,22)=22, k ends 32.
 	if got, want := r.HostEnd[1], 32*time.Millisecond; got != want {
 		t.Fatalf("stage-1 end = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlockErrorNamesWorkerStreamAndKey(t *testing.T) {
+	// A mismatched collective: the wait map expects 2 participants but
+	// only worker 0 ever joins. The error must name the stalled
+	// worker, its stream, and the blocking collective key with join
+	// counts — and be deterministic across runs.
+	mk := func() *trace.Job {
+		w0 := worker(0, 2, coll(3, 0x2a, 7, 2, 0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
+		w1 := worker(1, 2, kernel(0, time.Millisecond), trace.Op{Kind: trace.KindDeviceSync})
+		return job(t, w0, w1)
+	}
+	opts := Options{Participants: map[trace.CollKey]int{{Comm: 0x2a, Seq: 7}: 2}}
+	_, err := Run(context.Background(), mk(), opts)
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"sim: deadlock",
+		"worker 0",
+		"stream 3",
+		"ncclAllReduce",
+		"comm=0x2a",
+		"seq=7",
+		"(1/2 joined)",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error missing %q:\n%s", want, msg)
+		}
+	}
+	_, err2 := Run(context.Background(), mk(), opts)
+	if err2 == nil || err2.Error() != msg {
+		t.Errorf("deadlock error not deterministic:\n%s\nvs\n%s", msg, err2)
+	}
+}
+
+func TestDeadlockErrorNamesEventKey(t *testing.T) {
+	// A stream wait on an event version that is never recorded.
+	w := worker(0, 1,
+		trace.Op{Kind: trace.KindStreamWait, Stream: 4, Event: 9, EventVer: 3},
+		kernel(4, time.Millisecond),
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	_, err := Run(context.Background(), job(t, w), Options{})
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{"worker 0", "stream 4", "event 9 v3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// physicalFixture is a job exercising every engine mechanism: multi
+// stream, event sync, collectives, stream/device sync, marks.
+func physicalFixture(t *testing.T) *trace.Job {
+	mk := func(rank int) *trace.Worker {
+		return worker(rank, 2,
+			kernel(1, 10*time.Millisecond),
+			trace.Op{Kind: trace.KindEventRecord, Stream: 1, Event: 7, EventVer: 1},
+			trace.Op{Kind: trace.KindStreamWait, Stream: 2, Event: 7, EventVer: 1},
+			hostDelay(time.Millisecond),
+			coll(2, 42, 0, 2, rank, 20*time.Millisecond),
+			kernel(1, 5*time.Millisecond),
+			trace.Op{Kind: trace.KindStreamSync, Stream: 2},
+			trace.Op{Kind: trace.KindMark, Name: trace.MarkIterEnd},
+			trace.Op{Kind: trace.KindDeviceSync},
+		)
+	}
+	return job(t, mk(0), mk(1))
+}
+
+func reportsEqual(a, b *Report) bool {
+	if a.Makespan != b.Makespan || len(a.HostEnd) != len(b.HostEnd) {
+		return false
+	}
+	for i := range a.HostEnd {
+		if a.HostEnd[i] != b.HostEnd[i] || a.ComputeBusy[i] != b.ComputeBusy[i] ||
+			a.CommBusy[i] != b.CommBusy[i] || a.ExposedComm[i] != b.ExposedComm[i] {
+			return false
+		}
+		if len(a.Marks[i]) != len(b.Marks[i]) {
+			return false
+		}
+		for j := range a.Marks[i] {
+			if a.Marks[i][j] != b.Marks[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	// One engine Reset across different jobs and physical-mode options
+	// must reproduce fresh-engine results exactly.
+	opts := Options{JitterFrac: 0.05, CommContention: 0.5, Seed: 1234}
+	want1 := mustRun(t, physicalFixture(t), opts)
+	want2 := mustRun(t, physicalFixture(t), Options{})
+
+	e := NewEngine()
+	for i := 0; i < 3; i++ {
+		e.Reset(physicalFixture(t), opts)
+		got, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatalf("reused engine run %d: %v", i, err)
+		}
+		if !reportsEqual(got, want1) {
+			t.Fatalf("reused engine diverged on run %d:\n got %+v\nwant %+v", i, got, want1)
+		}
+		e.Reset(physicalFixture(t), Options{})
+		got2, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reportsEqual(got2, want2) {
+			t.Fatalf("reused engine diverged on alternate options, run %d", i)
+		}
+	}
+}
+
+func TestRunPooledMatchesRun(t *testing.T) {
+	opts := Options{JitterFrac: 0.02, CommContention: 0.3, Seed: 7}
+	want := mustRun(t, physicalFixture(t), opts)
+	for i := 0; i < 4; i++ {
+		got, err := RunPooled(context.Background(), physicalFixture(t), opts)
+		if err != nil {
+			t.Fatalf("RunPooled: %v", err)
+		}
+		if !reportsEqual(got, want) {
+			t.Fatalf("RunPooled diverged from Run on iteration %d", i)
+		}
+	}
+}
+
+func TestEngineRunLifecycleErrors(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Run(context.Background()); err == nil {
+		t.Fatal("Run before Reset should error")
+	}
+	e.Reset(physicalFixture(t), Options{})
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background()); err == nil {
+		t.Fatal("second Run without Reset should error")
+	}
+}
+
+func TestReportDoesNotAliasEngineStorage(t *testing.T) {
+	// A report taken from an engine must survive the engine being
+	// reset and rerun with a different job (the pooled-reuse hazard:
+	// Marks used to alias e.marks).
+	e := NewEngine()
+	e.Reset(physicalFixture(t), Options{})
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := append([]MarkAt(nil), rep.Marks[0]...)
+	hostEnd := append([]time.Duration(nil), rep.HostEnd...)
+
+	w := worker(0, 1,
+		trace.Op{Kind: trace.KindMark, Name: "other_mark"},
+		kernel(0, time.Millisecond),
+		trace.Op{Kind: trace.KindMark, Name: "another"},
+		trace.Op{Kind: trace.KindDeviceSync},
+	)
+	e.Reset(job(t, w), Options{})
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range marks {
+		if rep.Marks[0][i] != marks[i] {
+			t.Fatalf("report marks mutated by engine reuse: %v vs %v", rep.Marks[0], marks)
+		}
+	}
+	for i := range hostEnd {
+		if rep.HostEnd[i] != hostEnd[i] {
+			t.Fatalf("report host ends mutated by engine reuse")
+		}
+	}
+}
+
+// countingObserver tallies every callback.
+type countingObserver struct {
+	opStarts, opEnds, colls, stallBegins, stallEnds, hostDelays, marks int
+	lastStall                                                          StallKind
+}
+
+func (c *countingObserver) OpStart(int, int64, *trace.Op, int64, int64) { c.opStarts++ }
+func (c *countingObserver) OpEnd(int, int64, *trace.Op, int64, int64)   { c.opEnds++ }
+func (c *countingObserver) CollectiveFired(int, int64, *trace.Op, trace.CollKey, int64, int64) {
+	c.colls++
+}
+func (c *countingObserver) StallBegin(_ int, _ int64, k StallKind, _ int64) {
+	c.stallBegins++
+	c.lastStall = k
+}
+func (c *countingObserver) StallEnd(int, int64, StallKind, int64, int64) { c.stallEnds++ }
+func (c *countingObserver) HostDelay(int, int64, int64)                  { c.hostDelays++ }
+func (c *countingObserver) Mark(int, string, int64)                      { c.marks++ }
+
+func TestObserverSeesEveryEvent(t *testing.T) {
+	obs := &countingObserver{}
+	j := physicalFixture(t)
+	withObs := mustRun(t, j, Options{Observer: obs})
+	plain := mustRun(t, physicalFixture(t), Options{})
+	if !reportsEqual(withObs, plain) {
+		t.Fatal("attaching an observer changed simulation results")
+	}
+	// Per worker: 2 timed kernels, 1 collective, 1 event-wait stall
+	// (stream 2 waits for event 7), 1 collective stall, 1 host delay,
+	// 1 mark.
+	if obs.opStarts != 4 || obs.opEnds != 4 {
+		t.Errorf("op callbacks = %d/%d, want 4/4", obs.opStarts, obs.opEnds)
+	}
+	if obs.colls != 2 {
+		t.Errorf("collective callbacks = %d, want 2 (one per participant)", obs.colls)
+	}
+	if obs.stallBegins != 4 || obs.stallEnds != 4 {
+		t.Errorf("stall callbacks = %d/%d, want 4/4", obs.stallBegins, obs.stallEnds)
+	}
+	if obs.hostDelays != 2 {
+		t.Errorf("host delay callbacks = %d, want 2", obs.hostDelays)
+	}
+	if obs.marks != 2 {
+		t.Errorf("mark callbacks = %d, want 2", obs.marks)
+	}
+}
+
+func TestObserversComposition(t *testing.T) {
+	if Observers() != nil || Observers(nil, nil) != nil {
+		t.Fatal("Observers of nothing should be nil (the engine's fast path)")
+	}
+	a := &countingObserver{}
+	if got := Observers(nil, a); got != Observer(a) {
+		t.Fatal("single live observer should be returned unwrapped")
+	}
+	b := &countingObserver{}
+	multi := Observers(a, nil, b)
+	mustRun(t, physicalFixture(t), Options{Observer: multi})
+	if a.opEnds == 0 || a.opEnds != b.opEnds || a.marks != b.marks {
+		t.Fatalf("fan-out diverged: a=%+v b=%+v", a, b)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"maya/internal/models"
 	"maya/internal/netsim"
 	"maya/internal/silicon"
+	"maya/internal/sim"
 	"maya/internal/workload"
 )
 
@@ -57,6 +58,16 @@ type (
 	Report = core.Report
 	// StageTimings breaks down pipeline wall-clock per stage.
 	StageTimings = core.StageTimings
+	// StallProfile is the per-worker stall attribution of one
+	// simulated run (see WithStallBreakdown).
+	StallProfile = core.StallProfile
+	// WorkerStall is one worker's stall attribution: event waits,
+	// collective straggler waits, host-bound stretches and pipeline
+	// bubbles.
+	WorkerStall = core.WorkerStall
+	// Timeline records a simulated run as a Chrome-trace timeline
+	// (see WithTimeline and NewTimeline).
+	Timeline = sim.Timeline
 	// CacheStats is a snapshot of EstimatorCache accounting.
 	CacheStats = core.CacheStats
 	// MegatronConfig is a Megatron-LM style training recipe.
@@ -275,14 +286,16 @@ func (p *Predictor) Cluster() Cluster { return p.cluster }
 // predictSettings are the per-call knobs of Predict, MeasureActual,
 // Capture, Simulate and batch requests.
 type predictSettings struct {
-	flops    float64
-	dtype    DType
-	oracle   bool
-	physical bool
-	netsim   *bool
-	seed     *uint64
-	validate *bool
-	memo     *estimator.KernelMemo // batch-shared estimate memo
+	flops     float64
+	dtype     DType
+	oracle    bool
+	physical  bool
+	breakdown bool
+	observer  sim.Observer
+	netsim    *bool
+	seed      *uint64
+	validate  *bool
+	memo      *estimator.KernelMemo // batch-shared estimate memo
 }
 
 // PredictOption customizes one Predict, MeasureActual, Capture,
@@ -330,6 +343,35 @@ func WithPhysicalReplay() PredictOption {
 // collation, so for a pre-captured Trace it has no effect.
 func WithValidationOverride(on bool) PredictOption {
 	return predictOption(func(s *predictSettings) { s.validate = &on })
+}
+
+// NewTimeline returns an empty timeline recorder for WithTimeline.
+func NewTimeline() *Timeline { return sim.NewTimeline() }
+
+// WithTimeline records this call's simulated run into tl at CUDA-API
+// granularity; tl.WriteChromeTrace then exports a Chrome-trace JSON
+// timeline loadable in chrome://tracing or Perfetto. Use a fresh
+// Timeline per call — a recorder is not safe across concurrent
+// requests, and reusing one concatenates runs. A nil tl records
+// nothing (the option is a no-op).
+func WithTimeline(tl *Timeline) PredictOption {
+	return predictOption(func(s *predictSettings) {
+		if tl != nil {
+			// Guard the typed-nil: a nil *Timeline stored in the
+			// interface would defeat the engine's nil fast path.
+			s.observer = tl
+		}
+	})
+}
+
+// WithStallBreakdown attributes every worker's idle time in this
+// call's simulation — event waits, collective straggler waits,
+// host-bound stretches and pipeline bubbles — and fills
+// Report.Stalls with the result. The attribution observer costs a
+// few percent of simulation time; calls without this option pay
+// nothing.
+func WithStallBreakdown() PredictOption {
+	return predictOption(func(s *predictSettings) { s.breakdown = true })
 }
 
 func applyPredictOptions(opts []PredictOption) predictSettings {
@@ -380,6 +422,8 @@ func (p *Predictor) capturePipeline(s predictSettings) *core.Pipeline {
 func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.Pipeline, error) {
 	pipe := p.capturePipeline(s)
 	pipe.Opts.Memo = s.memo
+	pipe.Opts.Observer = s.observer
+	pipe.Opts.Breakdown = s.breakdown
 	if s.oracle {
 		pipe.Opts.Oracle = p.oracle
 	}

@@ -1,0 +1,136 @@
+package maya_test
+
+// Tests of the run-observability surface: Chrome-trace timelines
+// (WithTimeline) and per-worker stall attribution
+// (WithStallBreakdown). Ground-truth annotation keeps them free of
+// estimator training.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"maya"
+)
+
+func TestWithStallBreakdownThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation(), maya.WithStallBreakdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls == nil {
+		t.Fatal("WithStallBreakdown produced no Stalls")
+	}
+	if got, want := len(rep.Stalls.Workers), rep.UniqueWorkers; got != want {
+		t.Fatalf("stall rows = %d, want one per unique worker (%d)", got, want)
+	}
+	tot := rep.Stalls.Total()
+	if tot.Busy == 0 {
+		t.Error("stall attribution found no busy time")
+	}
+	if tot.CollectiveWait == 0 {
+		t.Error("a tp2/pp2 job should show collective straggler wait")
+	}
+
+	// The JSON contract carries the breakdown.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"collective_wait_ns"`)) {
+		t.Errorf("report JSON missing stall fields: %s", data)
+	}
+
+	// Without the option the report stays lean.
+	plain, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stalls != nil {
+		t.Error("Stalls present without WithStallBreakdown")
+	}
+
+	// The breakdown rides along with physical replay too.
+	act, err := pred.Simulate(ctx, tr, maya.WithPhysicalReplay(), maya.WithStallBreakdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Stalls == nil || act.Stalls.Total().Busy == 0 {
+		t.Error("physical replay lost the stall breakdown")
+	}
+}
+
+func TestWithTimelineThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := maya.NewTimeline()
+	rep, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation(), maya.WithTimeline(tl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() == 0 {
+		t.Fatal("timeline recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) <= tl.Len() {
+		t.Errorf("export has %d events for %d recorded (+metadata expected)",
+			len(doc.TraceEvents), tl.Len())
+	}
+
+	// Observation must not perturb the simulation.
+	plain, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripStages(rep) != stripStages(plain) {
+		t.Errorf("timeline observation changed the prediction:\n%+v\n%+v", rep, plain)
+	}
+
+	// Timeline composes with the breakdown on one call.
+	tl2 := maya.NewTimeline()
+	both, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation(),
+		maya.WithTimeline(tl2), maya.WithStallBreakdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl2.Len() == 0 || both.Stalls == nil {
+		t.Error("WithTimeline and WithStallBreakdown did not compose")
+	}
+}
+
+func TestWithTimelineNilIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The natural conditional pattern must not smuggle a typed-nil
+	// observer into the engine and panic mid-simulation.
+	var tl *maya.Timeline
+	if _, err := pred.Simulate(ctx, tr, maya.WithOracleAnnotation(), maya.WithTimeline(tl)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"maya/internal/estimator"
 	"maya/internal/framework"
 	"maya/internal/search"
 )
@@ -34,6 +35,12 @@ func MegatronSearchSpace() search.Space { return search.MegatronSpace() }
 // conflicting cluster is an error. Cancelling ctx stops the search
 // mid-trial-loop: no further trials are issued, and the partial
 // outcome is returned alongside ctx.Err().
+//
+// Trial evaluations are pooled the way batch sweeps are: every
+// candidate shares one kernel-estimate memo (recipes of one model
+// reuse most kernel shapes) and every replay draws its simulation
+// engine from the process-wide pool, so a 2000-trial search
+// allocates engine storage a handful of times, not 2000.
 func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts SearchOptions) (*SearchOutcome, error) {
 	if problem.Cluster.Name == "" {
 		problem.Cluster = p.cluster
@@ -41,7 +48,9 @@ func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts 
 		return nil, fmt.Errorf("maya: FindRecipe problem targets %s but the predictor models %s",
 			problem.Cluster.Name, p.cluster.Name)
 	}
-	pipe, err := p.pipelineFor(ctx, applyPredictOptions(nil))
+	settings := applyPredictOptions(nil)
+	settings.memo = estimator.NewKernelMemo()
+	pipe, err := p.pipelineFor(ctx, settings)
 	if err != nil {
 		return nil, err
 	}
