@@ -64,19 +64,25 @@ type captureKey struct {
 type sharedCapture struct {
 	once sync.Once
 	cap  *core.Capture
+	paid bool // the capturing call actually emulated (capture-cache miss)
 	err  error
 }
 
-// get returns the group's capture, running it if nobody has yet.
-// paid reports whether THIS call performed the capture — exactly one
-// request per group pays, and only its report carries the capture's
-// emulate/collate stage timings.
+// get returns the group's capture, running it if nobody has yet. The
+// capture itself goes through captureFor, so a predictor-level
+// CaptureCache is consulted first (cross-call reuse) while the
+// batch-local group still guarantees at most one capture per
+// identical workload even under cache eviction pressure. paid
+// reports whether THIS call performed the emulation — at most one
+// request per group, and none on a cache hit — and only its report
+// carries the capture's emulate/collate stage timings.
 func (sc *sharedCapture) get(ctx context.Context, p *Predictor, w Workload, s predictSettings) (cap *core.Capture, paid bool, err error) {
+	ran := false
 	sc.once.Do(func() {
-		sc.cap, sc.err = p.capturePipeline(s).Capture(ctx, w)
-		paid = true
+		ran = true
+		sc.cap, sc.paid, sc.err = p.captureFor(ctx, p.capturePipeline(s), w, s)
 	})
-	return sc.cap, paid, sc.err
+	return sc.cap, ran && sc.paid, sc.err
 }
 
 // batchCaptureKey builds the sharing key for a request, reporting
@@ -215,7 +221,8 @@ feed:
 }
 
 // evalBatchRequest runs one request, reusing the group capture when
-// the workload is shareable.
+// the workload is shareable (and, through it, the predictor's
+// CaptureCache when one is configured — see sharedCapture.get).
 func (p *Predictor) evalBatchRequest(ctx context.Context, w Workload, s predictSettings, shared map[captureKey]*sharedCapture) BatchResult {
 	k, ok := p.batchCaptureKey(w, s)
 	if !ok || shared[k] == nil {

@@ -25,6 +25,7 @@ import (
 
 	"maya"
 	"maya/internal/core"
+	"maya/internal/cuda"
 	"maya/internal/emulator"
 	"maya/internal/estimator"
 	"maya/internal/experiments"
@@ -35,6 +36,7 @@ import (
 	"maya/internal/prand"
 	"maya/internal/sim"
 	"maya/internal/trace"
+	"maya/internal/workload"
 )
 
 var (
@@ -323,6 +325,76 @@ func BenchmarkCaptureReuse(b *testing.B) {
 			}
 		}
 	})
+	// The Simulate stage in isolation: annotation lands in a pooled
+	// duration overlay and the engine comes from the process pool, so
+	// the per-simulation cost no longer includes deep-copying the
+	// captured job.
+	b.Run("simulate-only", func(b *testing.B) {
+		tr, err := pred.Capture(ctx, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.Simulate(ctx, tr, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// hideClassHints conceals a Megatron's ClassHinter and
+// SelectiveLauncher so capture takes the full O(world) dynamic-dedup
+// probe — the baseline BenchmarkCaptureHyperscale compares against.
+type hideClassHints struct {
+	m *framework.Megatron
+}
+
+func (h hideClassHints) Name() string                        { return h.m.Name() }
+func (h hideClassHints) World() int                          { return h.m.World() }
+func (h hideClassHints) Run(rank int, dev cuda.Device) error { return h.m.Run(rank, dev) }
+func (h hideClassHints) CommGroups() map[uint64][]int        { return h.m.CommGroups() }
+func (h hideClassHints) Probe() workload.Workload {
+	if inner := h.m.Probe(); inner != workload.Workload(h.m) {
+		return hideClassHints{m: inner.(*framework.Megatron)}
+	}
+	return h
+}
+
+// BenchmarkCaptureHyperscale measures the capture (emulate + collate)
+// half of a prediction on a 256-rank megatron job under dynamic
+// deduplication: the full probe emulates every rank once, the
+// class-hint fast path emulates one representative per pipeline stage
+// plus the verification sample. The ratio is the structural-dedup
+// win, which grows linearly with the data-parallel degree.
+func BenchmarkCaptureHyperscale(b *testing.B) {
+	m, err := framework.NewMegatron(framework.MegatronConfig{
+		Model: models.GPT3_1_3B(), NGPUs: 256, GlobalBatch: 128,
+		TP: 2, PP: 2, MicroBatches: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := &core.Pipeline{Cluster: hardware.DGXV100(32)}
+	run := func(b *testing.B, w maya.Workload) {
+		b.Helper()
+		b.ReportAllocs()
+		var emuls int
+		for i := 0; i < b.N; i++ {
+			c, err := pipe.Capture(context.Background(), w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.OOM {
+				b.Fatal("unexpected OOM")
+			}
+			emuls = c.RankEmulations
+		}
+		b.ReportMetric(float64(emuls), "rank-emulations")
+	}
+	b.Run("full-probe", func(b *testing.B) { run(b, hideClassHints{m: m}) })
+	b.Run("class-hints", func(b *testing.B) { run(b, m) })
 }
 
 // BenchmarkPredictBatch contrasts N sequential Predict calls with one

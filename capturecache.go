@@ -1,0 +1,129 @@
+package maya
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"maya/internal/core"
+	"maya/internal/hardware"
+	"maya/internal/workload"
+)
+
+// CaptureCacheStats is a snapshot of CaptureCache accounting.
+type CaptureCacheStats struct {
+	// Hits counts lookups served by a completed (or in-flight)
+	// capture.
+	Hits int64
+	// Misses counts lookups that had to run the capture.
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound or Purge.
+	Evictions int64
+	// Errors counts captures that failed (including cancellations);
+	// failed entries are dropped so later lookups retry.
+	Errors int64
+	// Entries is the number of captures currently cached.
+	Entries int
+}
+
+// CaptureCache memoizes Trace captures across calls, keyed by a
+// canonical workload fingerprint (workload.Fingerprinter) plus the
+// cluster and every capture-relevant option. Emulation and collation
+// are the expensive half of a prediction; with a capture cache,
+// repeated evaluations of the same topology — across Predict calls,
+// PredictBatch sweeps and FindRecipe trials — pay them once.
+//
+// Captures are immutable, so cached entries are shared, not copied.
+// Exactly one caller captures per key; concurrent callers of the same
+// key wait for the in-flight capture (honoring their own ctx). The
+// cache is bounded: least-recently-used entries are evicted beyond
+// the configured capacity. All methods are safe for concurrent use.
+//
+// Inject one with WithCaptureCache; predictors without it capture
+// per call (batch-local sharing still applies inside PredictBatch).
+// Workloads that do not implement workload.Fingerprinter bypass the
+// cache.
+type CaptureCache struct {
+	impl *core.CaptureLRU
+}
+
+// NewCaptureCache returns an empty cache bounded to maxEntries
+// captures (minimum 1). Size it to the working set of distinct
+// topologies: a capture of a large job holds its full collated trace,
+// so the bound is what keeps hyperscale sweeps from retaining every
+// candidate ever evaluated.
+func NewCaptureCache(maxEntries int) *CaptureCache {
+	return &CaptureCache{impl: core.NewCaptureLRU(maxEntries)}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CaptureCache) Stats() CaptureCacheStats {
+	s := c.impl.Stats()
+	return CaptureCacheStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Errors: s.Errors, Entries: s.Entries,
+	}
+}
+
+// Purge empties the cache, returning how many captures were dropped.
+// In-flight captures are unaffected (their callers still receive
+// them) but will not be cached.
+func (c *CaptureCache) Purge() int { return c.impl.Purge() }
+
+// WithCaptureCache injects the capture cache the predictor consults
+// before emulating: Predict, Capture, PredictBatch and FindRecipe all
+// share it, so repeated evaluations of one topology across calls
+// reuse a single capture.
+func WithCaptureCache(cache *CaptureCache) PredictorOption {
+	return predictorOption(func(c *predictorConfig) { c.captures = cache })
+}
+
+// captureCacheKey builds the cache key for a workload under the
+// call's capture-relevant settings, reporting ok=false for workloads
+// without a canonical fingerprint.
+func (p *Predictor) captureCacheKey(w Workload, s predictSettings) (string, bool) {
+	fp, ok := w.(workload.Fingerprinter)
+	if !ok {
+		return "", false
+	}
+	opts := p.opts
+	if s.validate != nil {
+		opts.Validate = *s.validate
+	}
+	if s.seed != nil {
+		opts.Seed = *s.seed
+	}
+	return fmt.Sprintf("%s|cluster=%s/%x|validate=%t|seed=%d|nodedup=%t|sel=%t",
+		fp.Fingerprint(), p.cluster.Name, clusterFingerprint(p.cluster), opts.Validate,
+		opts.Seed, opts.NoDedup, opts.SelectiveLaunch), true
+}
+
+// clusterFingerprint hashes the full hardware description, so two
+// clusters sharing a name but differing in GPU/host/interconnect
+// parameters (emulation inputs all) never share a cache entry. Struct
+// rendering via %+v is deterministic: fmt prints map keys sorted.
+func clusterFingerprint(c hardware.Cluster) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return h.Sum64()
+}
+
+// captureFor returns the capture for a workload, consulting the
+// predictor's capture cache when one is configured and the workload
+// is fingerprintable. paid reports whether this call performed the
+// emulation (cache misses and uncached paths) — only then should a
+// report carry the capture's emulate/collate stage cost.
+func (p *Predictor) captureFor(ctx context.Context, pipe *core.Pipeline, w Workload, s predictSettings) (c *core.Capture, paid bool, err error) {
+	if p.captures == nil {
+		c, err = pipe.Capture(ctx, w)
+		return c, true, err
+	}
+	key, ok := p.captureCacheKey(w, s)
+	if !ok {
+		c, err = pipe.Capture(ctx, w)
+		return c, true, err
+	}
+	return p.captures.impl.Get(ctx, key, func() (*core.Capture, error) {
+		return pipe.Capture(ctx, w)
+	})
+}

@@ -4,6 +4,12 @@
 //
 //	go test -run '^$' -bench 'SimRun|CaptureReuse' -benchmem -benchtime=1x | benchjson > BENCH_sim.json
 //
+// The -match flag filters benchmarks by regular expression, so one
+// bench run can be split into several artifacts:
+//
+//	benchjson -match 'SimRun' < bench.txt > BENCH_sim.json
+//	benchjson -match 'Capture|EndToEnd' < bench.txt > BENCH_capture.json
+//
 // Standard columns (iterations, ns/op, B/op, allocs/op) get their own
 // fields; custom b.ReportMetric units land in "metrics". Lines that
 // are not benchmark results (experiment tables, PASS/ok) are ignored.
@@ -12,8 +18,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -35,6 +43,16 @@ type Doc struct {
 }
 
 func main() {
+	match := flag.String("match", "", "only emit benchmarks whose name matches this regexp")
+	flag.Parse()
+	var filter *regexp.Regexp
+	if *match != "" {
+		var err error
+		if filter, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -match:", err)
+			os.Exit(2)
+		}
+	}
 	doc := Doc{Context: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -55,6 +73,9 @@ func main() {
 			continue
 		}
 		if r, ok := parseLine(line); ok {
+			if filter != nil && !filter.MatchString(r.Name) {
+				continue
+			}
 			doc.Benchmarks = append(doc.Benchmarks, r)
 		}
 	}

@@ -29,6 +29,7 @@ func main() {
 		budget      = flag.Int("budget", 400, "sampled configurations budget")
 		parallel    = flag.Int("parallel", 8, "concurrent trials")
 		noPrune     = flag.Bool("no-prune", false, "disable fidelity-preserving pruning")
+		capCache    = flag.Int("capture-cache", 256, "capture cache capacity (0 disables); optimizers that revisit topologies skip re-emulation")
 	)
 	flag.Parse()
 
@@ -43,7 +44,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "maya-search: %s on %s, algorithm=%s budget=%d\n",
 		mdl.Name, cluster.Name, *algo, *budget)
 
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	var popts []maya.PredictorOption
+	if *capCache > 0 {
+		popts = append(popts, maya.WithCaptureCache(maya.NewCaptureCache(*capCache)))
+	}
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, popts...)
 	fatalIf(err)
 
 	out, err := pred.FindRecipe(ctx,

@@ -151,11 +151,21 @@ func validateCollectives(job *trace.Job) error {
 // Signature computes a rolling hash over a worker's operation
 // signatures. Two workers with equal signatures perform identical
 // work modulo communicator identities — the deduplication criterion.
+// Each op's signature bytes are length-prefixed before hashing, so
+// the op boundaries are unambiguous: no splice of separator bytes
+// inside one op's fields (e.g. an adversarial kernel name) can make a
+// different op sequence hash to the same byte stream.
 func Signature(w *trace.Worker) uint64 {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
 	for i := range w.Ops {
 		sig := w.Ops[i].SigString()
+		n := uint64(len(sig))
+		for j := 0; j < 8; j++ {
+			h ^= n & 0xff
+			h *= prime
+			n >>= 8
+		}
 		for j := 0; j < len(sig); j++ {
 			h ^= uint64(sig[j])
 			h *= prime
@@ -166,19 +176,72 @@ func Signature(w *trace.Worker) uint64 {
 	return h
 }
 
-// DuplicateGroups clusters workers by signature. The returned map
-// sends each representative (lowest rank of its group) to the ranks
-// it stands for, representative included, in ascending order.
+// structuralSampleWindow bounds how many op positions structurallyEqual
+// compares per worker pair: evenly spread across the stream, first and
+// last included.
+const structuralSampleWindow = 64
+
+// structurallyEqual is the collision guard behind signature-based
+// deduplication: two workers whose signatures match must also agree
+// on op-stream length and on the op kinds at a deterministic sample
+// of positions before they merge. A 64-bit rolling FNV makes
+// accidental collisions vanishingly rare but not impossible (and
+// adversarial kernel names can manufacture them), and merging two
+// genuinely different workers would silently corrupt the simulated
+// job.
+func structurallyEqual(a, b *trace.Worker) bool {
+	if len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	n := len(a.Ops)
+	if n == 0 {
+		return true
+	}
+	step := 1
+	if n > structuralSampleWindow {
+		step = n / structuralSampleWindow
+	}
+	for i := 0; i < n; i += step {
+		if a.Ops[i].Kind != b.Ops[i].Kind {
+			return false
+		}
+	}
+	return a.Ops[n-1].Kind == b.Ops[n-1].Kind
+}
+
+// DuplicateGroups clusters workers by signature, sub-partitioning any
+// signature bucket whose members are not structurally equal (see
+// structurallyEqual) so hash collisions cannot merge distinct
+// workers. The returned map sends each representative (lowest rank of
+// its group) to the ranks it stands for, representative included, in
+// ascending order.
 func DuplicateGroups(workers []*trace.Worker) map[int][]int {
-	bySig := make(map[uint64][]int)
+	type subgroup struct {
+		leader *trace.Worker
+		ranks  []int
+	}
+	bySig := make(map[uint64][]*subgroup)
 	for _, w := range workers {
 		sig := Signature(w)
-		bySig[sig] = append(bySig[sig], w.Rank)
+		subs := bySig[sig]
+		placed := false
+		for _, sg := range subs {
+			if structurallyEqual(sg.leader, w) {
+				sg.ranks = append(sg.ranks, w.Rank)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bySig[sig] = append(subs, &subgroup{leader: w, ranks: []int{w.Rank}})
+		}
 	}
 	groups := make(map[int][]int, len(bySig))
-	for _, ranks := range bySig {
-		sort.Ints(ranks)
-		groups[ranks[0]] = ranks
+	for _, subs := range bySig {
+		for _, sg := range subs {
+			sort.Ints(sg.ranks)
+			groups[sg.ranks[0]] = sg.ranks
+		}
 	}
 	return groups
 }

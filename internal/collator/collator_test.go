@@ -148,6 +148,65 @@ func TestSignatureIgnoresHostDelayDurations(t *testing.T) {
 	}
 }
 
+// TestCraftedSignatureCollisionNotMerged pins both layers of the
+// collision defense. The crafted worker pair below hashed identically
+// under the unprefixed rolling signature: a kernel name embedding the
+// 0x1f op separator made one op's signature bytes equal two ops'.
+// Length-prefixing each op's signature bytes (layer 1) makes the
+// boundaries unambiguous, so the splice no longer collides; and even
+// on a raw 64-bit collision, the structural guard (layer 2) refuses
+// to merge workers that differ in op count or sampled kinds.
+func TestCraftedSignatureCollisionNotMerged(t *testing.T) {
+	a := worker(0, 2)
+	a.Append(trace.Op{Kind: trace.KindKernel, Name: "x"})
+	a.Append(trace.Op{Kind: trace.KindKernel, Name: "y"})
+	b := worker(1, 2)
+	// One op whose unprefixed signature bytes equal a's two ops plus
+	// separator: "0|x|[]|0|0||0" + 0x1f + "0|y|[]|0|0||0".
+	b.Append(trace.Op{Kind: trace.KindKernel, Name: "x|[]|0|0||0\x1f0|y"})
+
+	if Signature(a) == Signature(b) {
+		t.Fatal("length-prefixing no longer disambiguates the spliced op stream")
+	}
+	// Layer 2, independent of the hash: different op counts must
+	// never merge, even when signatures agree.
+	if structurallyEqual(a, b) {
+		t.Fatal("structural guard accepted workers with different op counts")
+	}
+	groups := DuplicateGroups([]*trace.Worker{a, b})
+	if len(groups) != 2 {
+		t.Fatalf("structurally different workers merged: groups = %v", groups)
+	}
+	unique, _ := Deduplicate([]*trace.Worker{a, b})
+	if len(unique) != 2 {
+		t.Fatalf("Deduplicate dropped a distinct worker: kept %v", ranksOf(unique))
+	}
+}
+
+// TestSameLengthKindMismatchNotMerged covers the sampled-kind check:
+// equal signatures and equal op counts, but different kind sequences,
+// must still partition.
+func TestSameLengthKindMismatchNotMerged(t *testing.T) {
+	a := worker(0, 2)
+	a.Append(trace.Op{Kind: trace.KindKernel, Name: "x"})
+	a.Append(trace.Op{Kind: trace.KindHostDelay})
+	b := worker(1, 2)
+	// KindMemcpy's signature string starts with its own kind number,
+	// so these do not actually collide — force the comparison through
+	// structurallyEqual directly to pin the guard's behavior.
+	b.Append(trace.Op{Kind: trace.KindMemcpy, Name: "x"})
+	b.Append(trace.Op{Kind: trace.KindHostDelay})
+	if structurallyEqual(a, b) {
+		t.Fatal("kind mismatch at sampled position must fail the structural check")
+	}
+	c := worker(2, 2)
+	c.Append(trace.Op{Kind: trace.KindKernel, Name: "x"})
+	c.Append(trace.Op{Kind: trace.KindHostDelay})
+	if !structurallyEqual(a, c) {
+		t.Fatal("identical streams must pass the structural check")
+	}
+}
+
 func TestSignatureSensitiveToShapes(t *testing.T) {
 	a := worker(0, 2)
 	a.Append(kernelOp("k", 64))

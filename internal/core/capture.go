@@ -48,6 +48,15 @@ type Capture struct {
 	// mark; OOM marks configurations that exceeded device memory.
 	PeakMemBytes int64
 	OOM          bool
+	// RankEmulations counts every rank emulation this capture paid,
+	// deduplication probes included — the accounting that makes
+	// structural-dedup wins measurable (a class-hinted hyperscale
+	// capture emulates ~classes+samples ranks, not world).
+	RankEmulations int
+	// ClassHinted marks captures served by the verified class-hint
+	// fast path (workload.ClassHinter); false means selective launch,
+	// the full dynamic-dedup probe, or no dedup at all.
+	ClassHinted bool
 	// EmulateTime and CollateTime record what this capture cost, so
 	// reuse wins are measurable (Fig. 13-style stage accounting).
 	EmulateTime time.Duration
@@ -99,6 +108,8 @@ type capturePayload struct {
 	OOM           bool             `json:"oom,omitempty"`
 	EmulateNS     int64            `json:"emulate_ns"`
 	CollateNS     int64            `json:"collate_ns"`
+	RankEmuls     int              `json:"rank_emulations,omitempty"`
+	ClassHinted   bool             `json:"class_hinted,omitempty"`
 }
 
 // WriteTo serializes the capture: a fixed header (magic, big-endian
@@ -118,6 +129,8 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 		OOM:           c.OOM,
 		EmulateNS:     c.EmulateTime.Nanoseconds(),
 		CollateNS:     c.CollateTime.Nanoseconds(),
+		RankEmuls:     c.RankEmulations,
+		ClassHinted:   c.ClassHinted,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("core: encoding capture: %w", err)
@@ -188,17 +201,19 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 		return nil, fmt.Errorf("core: %w: %v", ErrTraceFormat, err)
 	}
 	c := &Capture{
-		Workload:      p.Workload,
-		Cluster:       p.Cluster,
-		TotalWorkers:  p.TotalWorkers,
-		UniqueWorkers: p.UniqueWorkers,
-		Job:           p.Job,
-		Comms:         p.Comms,
-		CommSizes:     p.CommSizes,
-		PeakMemBytes:  p.PeakMemBytes,
-		OOM:           p.OOM,
-		EmulateTime:   time.Duration(p.EmulateNS),
-		CollateTime:   time.Duration(p.CollateNS),
+		Workload:       p.Workload,
+		Cluster:        p.Cluster,
+		TotalWorkers:   p.TotalWorkers,
+		UniqueWorkers:  p.UniqueWorkers,
+		Job:            p.Job,
+		Comms:          p.Comms,
+		CommSizes:      p.CommSizes,
+		PeakMemBytes:   p.PeakMemBytes,
+		OOM:            p.OOM,
+		EmulateTime:    time.Duration(p.EmulateNS),
+		CollateTime:    time.Duration(p.CollateNS),
+		RankEmulations: p.RankEmuls,
+		ClassHinted:    p.ClassHinted,
 	}
 	if c.Job != nil {
 		c.Participants = trace.Participation(c.Job)

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// CaptureCacheStats is a snapshot of CaptureLRU accounting.
+type CaptureCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Errors    int64
+	Entries   int
+}
+
+// CaptureLRU is a bounded, single-flight cache of Capture artifacts
+// keyed by canonical capture identity (workload fingerprint, cluster,
+// capture options — the caller builds the key). Captures are
+// immutable, so entries are shared. Exactly one caller captures per
+// key: concurrent lookups of an in-flight key wait on it, honoring
+// their own context; a failed or cancelled capture is dropped so the
+// next lookup retries. Least-recently-used entries are evicted beyond
+// the capacity. The zero value is not usable; call NewCaptureLRU.
+type CaptureLRU struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	stats   CaptureCacheStats
+}
+
+type captureEntry struct {
+	key   string
+	ready chan struct{} // closed once the capture finished
+	cap   *Capture
+	err   error
+}
+
+// NewCaptureLRU returns an empty cache bounded to maxEntries
+// (minimum 1).
+func NewCaptureLRU(maxEntries int) *CaptureLRU {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &CaptureLRU{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the capture for key, running fn if nobody has yet.
+// paid reports whether THIS call ran fn. Waiters observe their own
+// ctx; when the capturing caller fails with a context error while a
+// waiter's ctx is still live, the waiter retries (and likely becomes
+// the capturer).
+func (c *CaptureLRU) Get(ctx context.Context, key string, fn func() (*Capture, error)) (cap *Capture, paid bool, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			e := el.Value.(*captureEntry)
+			c.stats.Hits++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				if e.err != nil && ctxError(e.err) && ctx.Err() == nil {
+					// The capturer was cancelled, we were not: the
+					// failed entry is already dropped, so retry.
+					continue
+				}
+				return e.cap, false, e.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		e := &captureEntry{key: key, ready: make(chan struct{})}
+		c.entries[key] = c.lru.PushFront(e)
+		c.stats.Misses++
+		for c.lru.Len() > c.max {
+			c.evictOldest()
+		}
+		c.mu.Unlock()
+
+		e.cap, e.err = fn()
+
+		c.mu.Lock()
+		if e.err != nil {
+			c.stats.Errors++
+			// Drop the failed entry only if it is still ours (an
+			// eviction racing with the capture may have removed it).
+			if el, ok := c.entries[key]; ok && el.Value.(*captureEntry) == e {
+				c.lru.Remove(el)
+				delete(c.entries, key)
+			}
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return e.cap, true, e.err
+	}
+}
+
+// evictOldest removes the least-recently-used entry. Waiters already
+// holding the entry still receive its result; the capture is simply
+// no longer cached. Callers must hold c.mu.
+func (c *CaptureLRU) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	c.lru.Remove(el)
+	delete(c.entries, el.Value.(*captureEntry).key)
+	c.stats.Evictions++
+}
+
+// Purge empties the cache and returns how many entries were dropped.
+func (c *CaptureLRU) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.stats.Evictions += int64(n)
+	return n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CaptureLRU) Stats() CaptureCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}

@@ -14,8 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"maya/internal/collator"
@@ -167,7 +170,7 @@ func (p *Pipeline) Capture(ctx context.Context, w workload.Workload) (*Capture, 
 	}
 
 	t0 := time.Now()
-	workers, comms, sizes, err := p.emulate(ctx, w)
+	workers, comms, sizes, err := p.emulate(ctx, w, c)
 	if err != nil {
 		return nil, err
 	}
@@ -199,12 +202,15 @@ func (p *Pipeline) Capture(ctx context.Context, w workload.Workload) (*Capture, 
 	return c, nil
 }
 
-// Simulate annotates a deep copy of the capture's job — with the
+// Simulate annotates a view of the capture's job — with the
 // ground-truth oracle when Opts.Oracle is set, otherwise with the
 // learned suite (sharing Opts.Memo when present) — and replays it in
-// prediction mode. The capture is never mutated, so any number of
-// Simulate calls can reuse it; the report's Emulate/Collate stage
-// timings are zero because those stages did not run.
+// prediction mode. The capture is never mutated: annotations land in
+// a pooled duration overlay the simulator reads through (falling back
+// to a deep copy for jobs the overlay cannot index), so any number of
+// concurrent Simulate calls can reuse one capture; the report's
+// Emulate/Collate stage timings are zero because those stages did not
+// run.
 func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -214,15 +220,20 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 		return rep, nil
 	}
 	t0 := time.Now()
-	job := c.Job.Clone()
+	job := c.Job
+	ann := trace.AcquireAnnotations(job)
+	defer ann.Release()
+	if ann == nil {
+		job = c.Job.Clone()
+	}
 	var err error
 	if p.Opts.Oracle != nil {
-		err = p.Opts.Oracle.Annotate(ctx, job, c.Comms, c.CommSizes)
+		err = p.Opts.Oracle.AnnotateInto(ctx, job, c.Comms, c.CommSizes, ann)
 	} else {
 		if p.Suite == nil {
 			return nil, errors.New("core: Simulate needs a trained Suite or an Oracle")
 		}
-		err = p.Suite.AnnotateMemo(ctx, job, c.Comms, c.CommSizes, p.Opts.Memo)
+		err = p.Suite.AnnotateInto(ctx, job, c.Comms, c.CommSizes, p.Opts.Memo, ann)
 	}
 	if err != nil {
 		return nil, err
@@ -231,7 +242,7 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 
 	t0 = time.Now()
 	obs, bd := p.runObserver()
-	sr, err := sim.RunPooled(ctx, job, sim.Options{Participants: c.Participants, Observer: obs})
+	sr, err := sim.RunPooled(ctx, job, sim.Options{Participants: c.Participants, Observer: obs, Annotations: ann})
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating %s: %w", c.Workload, err)
 	}
@@ -338,16 +349,17 @@ func (p *Pipeline) fill(rep *Report, sr *sim.Report, modelFLOPs float64, dtype h
 }
 
 // emulate runs the workload's ranks through transparent emulators,
-// applying selective launch or dynamic deduplication. Alongside the
-// (possibly reduced) worker set it returns the complete communicator
+// applying selective launch, verified structural deduplication
+// (ClassHinter) or dynamic deduplication. Alongside the (possibly
+// reduced) worker set it returns the complete communicator
 // membership: from the pre-deduplication traces when all ranks were
 // emulated, supplemented by configuration knowledge (GroupAware) for
-// selectively launched jobs.
-func (p *Pipeline) emulate(ctx context.Context, w workload.Workload) ([]*trace.Worker, map[uint64][]int, map[uint64]int, error) {
+// selectively launched and class-hinted jobs.
+func (p *Pipeline) emulate(ctx context.Context, w workload.Workload, c *Capture) ([]*trace.Worker, map[uint64][]int, map[uint64]int, error) {
 	// Selective launch: the workload names its unique ranks a priori.
 	if p.Opts.SelectiveLaunch && !p.Opts.NoDedup {
 		if sl, ok := w.(workload.SelectiveLauncher); ok {
-			workers, err := p.emulateRanks(ctx, w, sl.UniqueRanks())
+			workers, err := p.emulateRanks(ctx, w, sl.UniqueRanks(), c)
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -355,13 +367,28 @@ func (p *Pipeline) emulate(ctx context.Context, w workload.Workload) ([]*trace.W
 			return workers, comms, sizes, err
 		}
 	}
-	// Dynamic deduplication: probe every rank for one iteration, hash
-	// the operation streams, then run the full workload only on the
-	// unique representatives (paper §4.2).
 	if !p.Opts.NoDedup && w.World() > 1 {
+		// Structural deduplication: the workload predicts its rank
+		// equivalence classes from topology; the pipeline probes one
+		// representative per class plus a deterministic verification
+		// sample and falls back to the full probe on any mismatch, so
+		// capture scales with unique structure instead of world size.
+		if ch, ok := w.(workload.ClassHinter); ok {
+			workers, comms, sizes, served, err := p.emulateClassHinted(ctx, w, ch, c)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if served {
+				c.ClassHinted = true
+				return workers, comms, sizes, nil
+			}
+		}
+		// Dynamic deduplication: probe every rank for one iteration,
+		// hash the operation streams, then run the full workload only
+		// on the unique representatives (paper §4.2).
 		if pr, ok := w.(workload.Prober); ok {
 			probe := pr.Probe()
-			probed, err := p.emulateRanks(ctx, probe, allRanks(w.World()))
+			probed, err := p.emulateRanks(ctx, probe, allRanks(w.World()), c)
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -374,19 +401,19 @@ func (p *Pipeline) emulate(ctx context.Context, w workload.Workload) ([]*trace.W
 			for i, u := range unique {
 				reps[i] = u.Rank
 			}
-			if probe == workload.Workload(w) {
+			if sameWorkload(probe, w) {
 				// Single-iteration workloads: the probe trace is the
 				// full trace.
 				return unique, comms, sizes, nil
 			}
-			workers, err := p.emulateRanks(ctx, w, reps)
+			workers, err := p.emulateRanks(ctx, w, reps, c)
 			if err != nil {
 				return nil, nil, nil, err
 			}
 			return workers, comms, sizes, nil
 		}
 	}
-	workers, err := p.emulateRanks(ctx, w, allRanks(w.World()))
+	workers, err := p.emulateRanks(ctx, w, allRanks(w.World()), c)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -399,6 +426,141 @@ func (p *Pipeline) emulate(ctx context.Context, w workload.Workload) ([]*trace.W
 	}
 	unique, _ := collator.Deduplicate(workers)
 	return unique, comms, sizes, nil
+}
+
+// emulateClassHinted is the structural-dedup fast path: probe only
+// class representatives plus a verification sample, check the
+// samples' trace signatures against their representatives, and build
+// the capture from the deduplicated probes. served=false (with nil
+// error) means the hint could not be trusted — malformed partition, a
+// signature mismatch, or membership the workload's group knowledge
+// cannot complete — and the caller must fall back to the full probe,
+// which produces bit-identical results by construction.
+func (p *Pipeline) emulateClassHinted(ctx context.Context, w workload.Workload, ch workload.ClassHinter, c *Capture) (workers []*trace.Worker, comms map[uint64][]int, sizes map[uint64]int, served bool, err error) {
+	classes := ch.RankClasses()
+	if !validClasses(classes, w.World()) {
+		return nil, nil, nil, false, nil
+	}
+	var probeRanks []int
+	for _, class := range classes {
+		probeRanks = append(probeRanks, class[0])
+		probeRanks = append(probeRanks, verificationSample(class)...)
+	}
+	sort.Ints(probeRanks)
+
+	// Without a Prober the workload is its own (full) probe.
+	probe := workload.Workload(w)
+	probeIsFull := true
+	if pr, ok := w.(workload.Prober); ok {
+		probe = pr.Probe()
+		probeIsFull = sameWorkload(probe, w)
+	}
+	probed, err := p.emulateRanks(ctx, probe, probeRanks, c)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	// Deduplicate merges the verification samples back into their
+	// representatives — and merges hinted classes that turn out to be
+	// duplicates of each other, exactly as the full probe would. Its
+	// groups double as the verification: a sampled member whose trace
+	// diverges from its class representative (by signature or by the
+	// collision guard's structural check) lands in a different group.
+	unique, groups := collator.Deduplicate(probed)
+	repOf := make(map[int]int, len(probed))
+	for rep, ranks := range groups {
+		for _, r := range ranks {
+			repOf[r] = rep
+		}
+	}
+	for _, class := range classes {
+		for _, s := range verificationSample(class) {
+			if repOf[s] != repOf[class[0]] {
+				// The hint lied: a sampled member's trace diverges
+				// from its representative's.
+				return nil, nil, nil, false, nil
+			}
+		}
+	}
+	comms, sizes, err = p.membership(w, probed)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	// The fast path must not change results. The full probe derives
+	// complete communicator membership from every rank's trace; here
+	// only the probed subset plus the workload's group knowledge is
+	// available, so any group left partial forces the fallback.
+	for id, size := range sizes {
+		if len(comms[id]) != size {
+			return nil, nil, nil, false, nil
+		}
+	}
+	if probeIsFull {
+		// The probe trace is the full trace (single-iteration
+		// workloads and workloads without a cheap probe).
+		return unique, comms, sizes, true, nil
+	}
+	reps := make([]int, len(unique))
+	for i, u := range unique {
+		reps[i] = u.Rank
+	}
+	workers, err = p.emulateRanks(ctx, w, reps, c)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	return workers, comms, sizes, true, nil
+}
+
+// sameWorkload reports whether two workload interface values are the
+// same value, without panicking when their dynamic type is not
+// comparable (a value workload holding a slice or map field): such
+// values are conservatively treated as distinct.
+func sameWorkload(a, b workload.Workload) bool {
+	if v := reflect.ValueOf(a); !v.IsValid() || !v.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// verificationSample returns the deterministic sample of non-
+// representative class members whose traces the fast path checks
+// against the representative's: the last member, plus the middle one
+// for classes of three or more.
+func verificationSample(class []int) []int {
+	switch {
+	case len(class) <= 1:
+		return nil
+	case len(class) == 2:
+		return class[1:]
+	default:
+		mid, last := class[len(class)/2], class[len(class)-1]
+		if mid == last {
+			return []int{last}
+		}
+		return []int{mid, last}
+	}
+}
+
+// validClasses reports whether classes is a well-formed partition of
+// [0, world): every rank exactly once, each class non-empty and
+// sorted ascending.
+func validClasses(classes [][]int, world int) bool {
+	seen := make([]bool, world)
+	n := 0
+	for _, class := range classes {
+		if len(class) == 0 {
+			return false
+		}
+		prev := -1
+		for _, r := range class {
+			if r < 0 || r >= world || r <= prev || seen[r] {
+				return false
+			}
+			seen[r] = true
+			prev = r
+			n++
+		}
+	}
+	return n == world
 }
 
 // membership reconstructs communicator membership from traces,
@@ -419,46 +581,52 @@ func (p *Pipeline) membership(w workload.Workload, workers []*trace.Worker) (map
 	return comms, sizes, nil
 }
 
-// emulateRanks runs the given ranks concurrently, one emulator each.
-// Cancellation is observed at rank granularity: queued ranks never
-// start after ctx is done, so a large emulation (the expensive stage
-// at hyperscale) aborts after at most one in-flight rank per worker
-// slot.
-func (p *Pipeline) emulateRanks(ctx context.Context, w workload.Workload, ranks []int) ([]*trace.Worker, error) {
+// emulateRanks runs the given ranks through a bounded worker pool,
+// one emulator per rank — a 4096-rank probe keeps GOMAXPROCS
+// goroutines busy instead of spawning 4096 up front. Cancellation is
+// observed at rank granularity: queued ranks never start after ctx is
+// done, so a large emulation (the expensive stage at hyperscale)
+// aborts after at most one in-flight rank per pool slot. Each call
+// adds its rank count to the capture's emulation accounting.
+func (p *Pipeline) emulateRanks(ctx context.Context, w workload.Workload, ranks []int, c *Capture) ([]*trace.Worker, error) {
+	if c != nil {
+		c.RankEmulations += len(ranks)
+	}
 	workers := make([]*trace.Worker, len(ranks))
 	errs := make([]error, len(ranks))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	pool := min(runtime.GOMAXPROCS(0), len(ranks))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, rank := range ranks {
+	for g := 0; g < pool; g++ {
 		wg.Add(1)
-		go func(i, rank int) {
+		go func() {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				errs[i] = ctx.Err()
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranks) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				rank := ranks[i]
+				em := emulator.New(emulator.Config{
+					Rank:  rank,
+					World: w.World(),
+					GPU:   p.Cluster.Node.GPU,
+					Host:  p.Cluster.Host,
+					Seed:  p.Opts.Seed,
+				})
+				err := w.Run(rank, em)
+				tr := em.Trace()
+				if err != nil && !tr.OOM {
+					errs[i] = fmt.Errorf("core: emulating rank %d: %w", rank, err)
+					continue
+				}
+				workers[i] = tr
 			}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			em := emulator.New(emulator.Config{
-				Rank:  rank,
-				World: w.World(),
-				GPU:   p.Cluster.Node.GPU,
-				Host:  p.Cluster.Host,
-				Seed:  p.Opts.Seed,
-			})
-			err := w.Run(rank, em)
-			tr := em.Trace()
-			if err != nil && !tr.OOM {
-				errs[i] = fmt.Errorf("core: emulating rank %d: %w", rank, err)
-				return
-			}
-			workers[i] = tr
-		}(i, rank)
+		}()
 	}
 	wg.Wait()
 	// A genuine emulation failure outranks the cancellations that

@@ -196,38 +196,61 @@ func (s *Suite) Annotate(ctx context.Context, job *trace.Job, comms map[uint64][
 // AnnotateMemo is Annotate with an optional shared estimate memo
 // (nil behaves like Annotate).
 func (s *Suite) AnnotateMemo(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int, memo *KernelMemo) error {
+	return s.annotate(ctx, job, comms, sizes, memo, nil)
+}
+
+// AnnotateInto is AnnotateMemo writing predicted durations into the
+// overlay instead of the ops themselves, leaving the job immutable:
+// the capture-reuse path, where the simulator reads through the
+// overlay and the trace is never deep-copied. The overlay must be
+// bound to this job.
+func (s *Suite) AnnotateInto(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int, memo *KernelMemo, ann *trace.Annotations) error {
+	return s.annotate(ctx, job, comms, sizes, memo, ann)
+}
+
+// annotate computes every device op's predicted duration, writing
+// either into the ops (ann nil) or the overlay.
+func (s *Suite) annotate(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int, memo *KernelMemo, ann *trace.Annotations) error {
 	world := 0
 	for _, w := range job.Workers {
 		if w.World > world {
 			world = w.World
 		}
 	}
-	for _, w := range job.Workers {
+	for wi, w := range job.Workers {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		for i := range w.Ops {
 			op := &w.Ops[i]
+			var d time.Duration
 			switch op.Kind {
 			case trace.KindKernel, trace.KindMemcpy, trace.KindMemset:
 				if memo != nil {
 					if key, ok := kernelKey(op); ok {
-						if d, hit := memo.m.Load(key); hit {
-							op.Dur = d.(time.Duration)
-							continue
+						if hit, found := memo.m.Load(key); found {
+							d = hit.(time.Duration)
+						} else {
+							d = s.EstimateKernel(op)
+							memo.m.Store(key, d)
 						}
-						op.Dur = s.EstimateKernel(op)
-						memo.m.Store(key, op.Dur)
-						continue
+						break
 					}
 				}
-				op.Dur = s.EstimateKernel(op)
+				d = s.EstimateKernel(op)
 			case trace.KindCollective:
 				if op.Coll.Seq < 0 {
 					continue
 				}
 				ranks := trace.ExpandRanks(comms[op.Coll.CommID], sizes[op.Coll.CommID], world)
-				op.Dur = s.EstimateCollective(op.Coll.Op, op.Coll.Bytes, ranks, op.Coll.NRanks)
+				d = s.EstimateCollective(op.Coll.Op, op.Coll.Bytes, ranks, op.Coll.NRanks)
+			default:
+				continue
+			}
+			if ann != nil {
+				ann.Set(wi, op.Seq, d)
+			} else {
+				op.Dur = d
 			}
 		}
 	}

@@ -125,6 +125,8 @@ var (
 	_ workload.Workload          = (*DataParallel)(nil)
 	_ workload.SelectiveLauncher = (*DataParallel)(nil)
 	_ workload.GroupAware        = (*DataParallel)(nil)
+	_ workload.ClassHinter       = (*DataParallel)(nil)
+	_ workload.Fingerprinter     = (*DataParallel)(nil)
 )
 
 // NewDataParallel validates and builds the workload.
@@ -157,6 +159,39 @@ func (d *DataParallel) World() int { return d.cfg.NGPUs }
 // UniqueRanks implements workload.SelectiveLauncher: pure data
 // parallelism means every rank is identical.
 func (d *DataParallel) UniqueRanks() []int { return []int{0} }
+
+// RankClasses implements workload.ClassHinter: one class holding all
+// ranks — the verified counterpart of UniqueRanks, usable under
+// dynamic dedup (vision and LLM DP jobs alike).
+func (d *DataParallel) RankClasses() [][]int {
+	class := make([]int, d.cfg.NGPUs)
+	for i := range class {
+		class[i] = i
+	}
+	return [][]int{class}
+}
+
+// Fingerprint implements workload.Fingerprinter: the model geometry
+// plus every knob that shapes the emitted trace.
+func (d *DataParallel) Fingerprint() string {
+	c := d.cfg
+	model := ""
+	if c.Transformer != nil {
+		t := c.Transformer
+		model = fmt.Sprintf("tfm:%s,L%d,h%d,heads%d,ffn%d,seq%d,vocab%d,exp%d,topk%d,gated%t",
+			t.Name, t.Layers, t.Hidden, t.Heads, t.FFN, t.Seq, t.Vocab,
+			t.NumExperts, t.ExpertTopK(), t.GatedMLP)
+	} else if c.CNN != nil {
+		n := c.CNN
+		model = fmt.Sprintf("cnn:%s,in%d,stem%+v,classes%d,fc%d", n.Name, n.Input, n.Stem, n.Classes, n.FCHidden)
+		for _, s := range n.Stages {
+			model += fmt.Sprintf(",st%+v", s)
+		}
+	}
+	return fmt.Sprintf("dataparallel|%s|ngpus%d,gb%d,ga%d,%s,offload%t,compile%t,%s,it%d",
+		model, c.NGPUs, c.GlobalBatch, c.GradAccum, c.Strategy, c.ActOffload, c.Compile,
+		c.DType, c.Iterations)
+}
 
 // CommGroups implements workload.GroupAware.
 func (d *DataParallel) CommGroups() map[uint64][]int {

@@ -208,6 +208,8 @@ var (
 	_ workload.Workload          = (*Megatron)(nil)
 	_ workload.SelectiveLauncher = (*Megatron)(nil)
 	_ workload.GroupAware        = (*Megatron)(nil)
+	_ workload.ClassHinter       = (*Megatron)(nil)
+	_ workload.Fingerprinter     = (*Megatron)(nil)
 )
 
 // NewMegatron validates the recipe and precomputes the pipeline
@@ -253,6 +255,42 @@ func (m *Megatron) UniqueRanks() []int {
 		out[p] = m.cfg.rankOf(rankCoords{pp: p})
 	}
 	return out
+}
+
+// RankClasses implements workload.ClassHinter: ranks that share a
+// pipeline stage are equivalent — tensor- and data-parallel peers
+// (including expert-parallel MoE peers, whose local expert counts and
+// collective shapes match across the DP group) perform identical work
+// modulo communicator identities, which trace signatures ignore.
+// Unlike UniqueRanks this claim is verified by the pipeline's
+// sampling, so it is safe under dynamic dedup.
+func (m *Megatron) RankClasses() [][]int {
+	cfg := m.cfg
+	stage := cfg.TP * cfg.DP()
+	classes := make([][]int, cfg.PP)
+	for p := range classes {
+		class := make([]int, stage)
+		for i := range class {
+			class[i] = p*stage + i
+		}
+		classes[p] = class
+	}
+	return classes
+}
+
+// Fingerprint implements workload.Fingerprinter: a canonical
+// rendering of everything that shapes the emitted trace — the model
+// geometry and every schedule/parallelism knob.
+func (m *Megatron) Fingerprint() string {
+	c := m.cfg
+	mdl := c.Model
+	return fmt.Sprintf(
+		"megatron|%s,L%d,h%d,heads%d,ffn%d,seq%d,vocab%d,exp%d,topk%d,gated%t|ngpus%d,gb%d,tp%d,pp%d,mb%d,v%d,dual%t,sp%t,re%t,do%t,%s,it%d,noov%t",
+		mdl.Name, mdl.Layers, mdl.Hidden, mdl.Heads, mdl.FFN, mdl.Seq, mdl.Vocab,
+		mdl.NumExperts, mdl.ExpertTopK(), mdl.GatedMLP,
+		c.NGPUs, c.GlobalBatch, c.TP, c.PP, c.MicroBatches, c.VirtualStages,
+		c.DualPipe, c.SeqParallel, c.ActRecompute, c.DistOptimizer, c.DType,
+		c.Iterations, c.NoDPOverlap)
 }
 
 // Probe implements workload.Prober: a single-iteration variant used

@@ -423,21 +423,35 @@ func (o *Oracle) Measure(op *trace.Op, ranks []int, sampleID int64) time.Duratio
 // stride so collective topology stays truthful. Cancellation of ctx
 // is observed between workers.
 func (o *Oracle) Annotate(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int) error {
+	return o.annotate(ctx, job, comms, sizes, nil)
+}
+
+// AnnotateInto is Annotate writing ground-truth durations into the
+// overlay instead of the ops themselves, leaving the job immutable —
+// the capture-reuse path. The overlay must be bound to this job.
+func (o *Oracle) AnnotateInto(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int, ann *trace.Annotations) error {
+	return o.annotate(ctx, job, comms, sizes, ann)
+}
+
+// annotate computes every device op's ground-truth duration, writing
+// either into the ops (ann nil) or the overlay.
+func (o *Oracle) annotate(ctx context.Context, job *trace.Job, comms map[uint64][]int, sizes map[uint64]int, ann *trace.Annotations) error {
 	world := 0
 	for _, w := range job.Workers {
 		if w.World > world {
 			world = w.World
 		}
 	}
-	for _, w := range job.Workers {
+	for wi, w := range job.Workers {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		for i := range w.Ops {
 			op := &w.Ops[i]
+			var d time.Duration
 			switch op.Kind {
 			case trace.KindKernel, trace.KindMemcpy, trace.KindMemset:
-				op.Dur = o.KernelTime(op)
+				d = o.KernelTime(op)
 			case trace.KindCollective:
 				if op.Coll.Seq < 0 {
 					continue
@@ -446,7 +460,14 @@ func (o *Oracle) Annotate(ctx context.Context, job *trace.Job, comms map[uint64]
 				if len(ranks) == 0 {
 					ranks = trace.ExpandRanks([]int{w.Rank}, op.Coll.NRanks, world)
 				}
-				op.Dur = o.CollectiveTime(op.Coll.Op, op.Coll.Bytes, ranks)
+				d = o.CollectiveTime(op.Coll.Op, op.Coll.Bytes, ranks)
+			default:
+				continue
+			}
+			if ann != nil {
+				ann.Set(wi, op.Seq, d)
+			} else {
+				op.Dur = d
 			}
 		}
 	}
@@ -467,14 +488,23 @@ func PhysicalOptions(seed uint64, participants map[trace.CollKey]int) sim.Option
 
 // MeasureActual is "deploy the job on the cluster and time it": the
 // trace is annotated with ground truth and replayed in physical mode
-// on a pooled engine. An optional observer (nil for none) watches the
-// replay. Cancelling ctx aborts both the annotation and the replay.
+// on a pooled engine. The job itself is never mutated: ground truth
+// lands in a pooled duration overlay the simulator reads through
+// (falling back to annotating a deep copy for jobs the overlay cannot
+// index). An optional observer (nil for none) watches the replay.
+// Cancelling ctx aborts both the annotation and the replay.
 func MeasureActual(ctx context.Context, job *trace.Job, oracle *Oracle, comms map[uint64][]int, sizes map[uint64]int, participants map[trace.CollKey]int, seed uint64, obs sim.Observer) (*sim.Report, error) {
-	actual := job.Clone()
-	if err := oracle.Annotate(ctx, actual, comms, sizes); err != nil {
-		return nil, err
-	}
 	opts := PhysicalOptions(seed, participants)
 	opts.Observer = obs
+	ann := trace.AcquireAnnotations(job)
+	defer ann.Release()
+	actual := job
+	if ann == nil {
+		actual = job.Clone()
+	}
+	if err := oracle.annotate(ctx, actual, comms, sizes, ann); err != nil {
+		return nil, err
+	}
+	opts.Annotations = ann
 	return sim.RunPooled(ctx, actual, opts)
 }

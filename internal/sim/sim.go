@@ -69,6 +69,15 @@ type Options struct {
 	// beyond the callback. A nil observer adds no per-event cost.
 	Observer Observer
 
+	// Annotations, when non-nil, is the duration overlay the engine
+	// reads device-op and collective durations through instead of the
+	// ops' own Dur fields. Annotation passes write into the overlay so
+	// the job itself stays immutable and shareable across concurrent
+	// runs. Host delays always come from the trace (annotation never
+	// touches them). The overlay must stay bound to this job until Run
+	// returns.
+	Annotations *trace.Annotations
+
 	// Physical-mode knobs (ground truth only; zero for prediction).
 
 	// JitterFrac is the relative sigma of deterministic log-normal
@@ -245,6 +254,7 @@ type Engine struct {
 	job  *trace.Job
 	opts Options
 	obs  Observer
+	ann  *trace.Annotations
 
 	pq    []simEvent
 	evSeq int64
@@ -312,6 +322,7 @@ func NewEngine() *Engine {
 func (e *Engine) scrub() {
 	e.job = nil
 	e.obs = nil
+	e.ann = nil
 	e.opts = Options{}
 	e.participants = nil
 	clear(e.pq)
@@ -351,6 +362,7 @@ func (e *Engine) Reset(job *trace.Job, opts Options) {
 	e.job = job
 	e.opts = opts
 	e.obs = opts.Observer
+	e.ann = opts.Annotations
 	e.ran = false
 	e.rng = jitterSource{frac: opts.JitterFrac, seed: opts.Seed}
 
@@ -727,9 +739,18 @@ func (e *Engine) parkStream(k eventKey, st *streamState) {
 	e.evWaitStreams[k] = wl
 }
 
+// opDur reads an op's annotated duration: through the overlay when
+// one is bound, from the trace otherwise.
+func (e *Engine) opDur(w int, op *trace.Op) int64 {
+	if e.ann != nil {
+		return int64(e.ann.Dur(w, op.Seq))
+	}
+	return int64(op.Dur)
+}
+
 // duration applies jitter to an op's annotated time.
 func (e *Engine) duration(op *trace.Op, w int) int64 {
-	d := int64(op.Dur)
+	d := e.opDur(w, op)
 	if d < 0 {
 		d = 0
 	}
@@ -885,7 +906,7 @@ func (e *Engine) joinCollective(st *streamState, op *trace.Op, arrive int64) {
 	}
 	g.arrived = append(g.arrived, st)
 	g.arriveAt = append(g.arriveAt, arrive)
-	g.dur = max(g.dur, int64(op.Dur))
+	g.dur = max(g.dur, e.opDur(st.w, op))
 	if len(g.arrived) < g.expected {
 		return
 	}

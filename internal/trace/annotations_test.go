@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func annJob(t *testing.T) *Job {
+	t.Helper()
+	w0 := &Worker{Rank: 0, World: 2}
+	w0.Append(Op{Kind: KindHostDelay, Dur: 5 * time.Microsecond})
+	w0.Append(Op{Kind: KindKernel, Name: "k"})
+	w1 := &Worker{Rank: 1, World: 2}
+	w1.Append(Op{Kind: KindKernel, Name: "k"})
+	w1.Append(Op{Kind: KindMemcpy, MemKind: "HtoD", Bytes: 64})
+	w1.Append(Op{Kind: KindHostDelay, Dur: 7 * time.Microsecond})
+	job, err := NewJob([]*Worker{w0, w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func TestAnnotationsSeedAndSet(t *testing.T) {
+	job := annJob(t)
+	a := NewAnnotations(job)
+	if a == nil {
+		t.Fatal("NewAnnotations returned nil for a positional job")
+	}
+	// Base durations read through untouched.
+	if got := a.Dur(0, 0); got != 5*time.Microsecond {
+		t.Fatalf("seeded host delay = %v, want 5µs", got)
+	}
+	if got := a.Dur(1, 2); got != 7*time.Microsecond {
+		t.Fatalf("seeded host delay = %v, want 7µs", got)
+	}
+	// Writes land per (worker, seq) without touching the job.
+	a.Set(1, 0, 42*time.Microsecond)
+	if got := a.Dur(1, 0); got != 42*time.Microsecond {
+		t.Fatalf("Dur after Set = %v", got)
+	}
+	if job.Workers[1].Ops[0].Dur != 0 {
+		t.Fatal("Set mutated the underlying job")
+	}
+	if got := a.Dur(0, 1); got != 0 {
+		t.Fatalf("neighbor slot contaminated: %v", got)
+	}
+}
+
+func TestAnnotationsRebindReusesAndReseeds(t *testing.T) {
+	job := annJob(t)
+	a := NewAnnotations(job)
+	a.Set(0, 1, time.Millisecond)
+	if !a.Rebind(job) {
+		t.Fatal("Rebind failed on the same job")
+	}
+	if got := a.Dur(0, 1); got != 0 {
+		t.Fatalf("Rebind did not re-seed: %v", got)
+	}
+
+	small, err := NewJob([]*Worker{{Rank: 0, World: 1, Ops: []Op{{Seq: 0, Kind: KindKernel}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Rebind(small) {
+		t.Fatal("Rebind failed on a smaller job")
+	}
+	if got := a.Dur(0, 0); got != 0 {
+		t.Fatalf("rebound overlay = %v", got)
+	}
+}
+
+func TestAnnotationsRejectNonPositionalJob(t *testing.T) {
+	// Hand-built worker whose Seq numbers are not indexes.
+	w := &Worker{Rank: 0, World: 1, Ops: []Op{{Seq: 3, Kind: KindKernel}}}
+	job, err := NewJob([]*Worker{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewAnnotations(job) != nil {
+		t.Fatal("NewAnnotations accepted a non-positional job")
+	}
+	if AcquireAnnotations(job) != nil {
+		t.Fatal("AcquireAnnotations accepted a non-positional job")
+	}
+}
+
+func TestAcquireReleaseCycle(t *testing.T) {
+	job := annJob(t)
+	a := AcquireAnnotations(job)
+	if a == nil {
+		t.Fatal("AcquireAnnotations returned nil")
+	}
+	a.Set(0, 1, time.Second)
+	a.Release()
+	b := AcquireAnnotations(job)
+	if b == nil {
+		t.Fatal("second acquire returned nil")
+	}
+	defer b.Release()
+	if got := b.Dur(0, 1); got != 0 {
+		t.Fatalf("pooled overlay leaked a previous run's value: %v", got)
+	}
+	var nilAnn *Annotations
+	nilAnn.Release() // must not panic: fallback paths release unconditionally
+}

@@ -44,6 +44,40 @@ type Prober interface {
 	Probe() Workload
 }
 
+// ClassHinter is implemented by workloads that can predict, from
+// their parallel topology alone, which ranks are equivalent — i.e.
+// will produce identical operation streams under emulation. Unlike
+// SelectiveLauncher (whose claim is trusted outright, §7.4), class
+// hints are verified: the pipeline emulates one representative per
+// class plus a small deterministic sample of other members, checks
+// the samples' trace signatures against their representatives, and
+// falls back to the full O(world) probe on any mismatch. Capture
+// therefore scales with the number of distinct behaviors instead of
+// the world size, without giving up dynamic dedup's safety net.
+type ClassHinter interface {
+	Workload
+	// RankClasses partitions [0, World()) into predicted equivalence
+	// classes: every rank appears in exactly one class, each class is
+	// sorted ascending, and the classes are ordered by their first
+	// rank. A malformed partition disables the hint (the pipeline
+	// falls back to dynamic dedup).
+	RankClasses() [][]int
+}
+
+// Fingerprinter is implemented by workloads whose captured structure
+// is a pure function of a describable configuration, enabling capture
+// caching across calls: two workloads with equal fingerprints produce
+// identical traces when emulated on the same cluster with the same
+// capture options.
+type Fingerprinter interface {
+	Workload
+	// Fingerprint returns a canonical description of everything that
+	// shapes the workload's emulated trace (model geometry, degrees,
+	// schedule knobs, precision, iteration count). It must change
+	// whenever the captured trace would.
+	Fingerprint() string
+}
+
 // GroupAware is implemented by workloads that can enumerate their
 // communicator groups from configuration alone — the explicit
 // workload knowledge Maya's selective launch relies on to recover

@@ -151,19 +151,21 @@ var (
 // annotate with the ground-truth oracle (MeasureActual, or Predict
 // under WithOracleAnnotation) never require a trained suite.
 type Predictor struct {
-	cluster hardware.Cluster
-	kind    ProfileKind
-	opts    core.Options
-	cache   *EstimatorCache
-	netsim  bool
-	oracle  *silicon.Oracle
+	cluster  hardware.Cluster
+	kind     ProfileKind
+	opts     core.Options
+	cache    *EstimatorCache
+	captures *CaptureCache
+	netsim   bool
+	oracle   *silicon.Oracle
 }
 
 // predictorConfig collects NewPredictor options.
 type predictorConfig struct {
-	opts   core.Options
-	cache  *EstimatorCache
-	netsim bool
+	opts     core.Options
+	cache    *EstimatorCache
+	captures *CaptureCache
+	netsim   bool
 }
 
 // PredictorOption customizes Predictor construction. Options that
@@ -254,12 +256,13 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 		opt.applyPredictor(&cfg)
 	}
 	return &Predictor{
-		cluster: cluster,
-		kind:    kind,
-		opts:    cfg.opts,
-		cache:   cfg.cache,
-		netsim:  cfg.netsim,
-		oracle:  core.DefaultOracle(cluster),
+		cluster:  cluster,
+		kind:     kind,
+		opts:     cfg.opts,
+		cache:    cfg.cache,
+		captures: cfg.captures,
+		netsim:   cfg.netsim,
+		oracle:   core.DefaultOracle(cluster),
 	}, nil
 }
 
@@ -271,12 +274,13 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 // Predict/Simulate.
 func (p *Predictor) WithNetworkSimulator() *Predictor {
 	return &Predictor{
-		cluster: p.cluster,
-		kind:    p.kind,
-		opts:    p.opts,
-		cache:   p.cache,
-		netsim:  true,
-		oracle:  p.oracle,
+		cluster:  p.cluster,
+		kind:     p.kind,
+		opts:     p.opts,
+		cache:    p.cache,
+		captures: p.captures,
+		netsim:   true,
+		oracle:   p.oracle,
 	}
 }
 
@@ -476,11 +480,11 @@ func (p *Predictor) predict(ctx context.Context, w Workload, s predictSettings) 
 	if err != nil {
 		return nil, err
 	}
-	c, err := pipe.Capture(ctx, w)
+	c, paid, err := p.captureFor(ctx, pipe, w, s)
 	if err != nil {
 		return nil, err
 	}
-	return p.simulateCapture(ctx, pipe, c, s, true)
+	return p.simulateCapture(ctx, pipe, c, s, paid)
 }
 
 // MeasureActual times the workload on the bundled synthetic silicon —

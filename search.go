@@ -38,9 +38,13 @@ func MegatronSearchSpace() search.Space { return search.MegatronSpace() }
 //
 // Trial evaluations are pooled the way batch sweeps are: every
 // candidate shares one kernel-estimate memo (recipes of one model
-// reuse most kernel shapes) and every replay draws its simulation
-// engine from the process-wide pool, so a 2000-trial search
-// allocates engine storage a handful of times, not 2000.
+// reuse most kernel shapes), every replay draws its simulation
+// engine from the process-wide pool and annotates through a pooled
+// duration overlay instead of deep-copying the trace, so a
+// 2000-trial search allocates engine storage a handful of times, not
+// 2000. With WithCaptureCache, trials whose topology was already
+// captured — in this search, a previous search, or a PredictBatch
+// sweep — skip emulation and collation entirely.
 func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts SearchOptions) (*SearchOutcome, error) {
 	if problem.Cluster.Name == "" {
 		problem.Cluster = p.cluster
@@ -60,7 +64,11 @@ func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts 
 		if err != nil {
 			return search.EvalResult{}, err
 		}
-		rep, err := pipe.Predict(ctx, w, flops, BF16)
+		c, _, err := p.captureFor(ctx, pipe, w, settings)
+		if err != nil {
+			return search.EvalResult{}, err
+		}
+		rep, err := pipe.Simulate(ctx, c, flops, BF16)
 		if err != nil {
 			return search.EvalResult{}, err
 		}

@@ -104,12 +104,16 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 // error: the trace carries the OOM verdict.
 //
 // Capture honors the capture-relevant options (WithSeed,
-// WithValidationOverride); annotation options are per-Simulate.
+// WithValidationOverride); annotation options are per-Simulate. When
+// the predictor carries a CaptureCache and the workload is
+// fingerprintable, the returned Trace may wrap a cached (shared,
+// immutable) capture instead of re-emulating.
 func (p *Predictor) Capture(ctx context.Context, w Workload, opts ...PredictOption) (*Trace, error) {
 	if w == nil {
 		return nil, errors.New("maya: Capture of a nil workload")
 	}
-	c, err := p.capturePipeline(applyPredictOptions(opts)).Capture(ctx, w)
+	s := applyPredictOptions(opts)
+	c, _, err := p.captureFor(ctx, p.capturePipeline(s), w, s)
 	if err != nil {
 		return nil, err
 	}
