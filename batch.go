@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"maya/internal/core"
-	"maya/internal/estimator"
 )
 
 // Request is one workload evaluation in a PredictBatch call.
@@ -113,10 +112,11 @@ func (p *Predictor) batchCaptureKey(w Workload, s predictSettings) (captureKey, 
 // capture-relevant settings) share one capture: the emulate and
 // collate stages run once and every variant — learned, oracle,
 // netsim, physical replay — simulates from the same Trace artifact.
-// A shared kernel-estimate memo additionally spans the whole batch,
-// so sweep configurations of one model skip forest inference their
-// predecessors already did, and every replay draws its simulation
-// engine from the process-wide pool instead of reallocating one.
+// Each capture carries its estimate plan, so the first learned
+// simulate of a (capture, suite) pair resolves every unique kernel
+// shape once and later requests annotate by a single table copy, and
+// every replay draws its simulation engine from the process-wide
+// pool instead of reallocating one.
 //
 // Per-request failures are isolated in their BatchResult. The
 // returned error is non-nil only when the whole batch is doomed —
@@ -175,10 +175,10 @@ func (p *Predictor) PredictBatch(ctx context.Context, reqs []Request, opts ...Ba
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
-	// One estimate memo for the whole batch: sweep configurations of a
-	// model share most kernel shapes, so later requests skip the
-	// forest inference their predecessors already did.
-	memo := estimator.NewKernelMemo()
+	// Estimate sharing needs no batch-local layer: requests that share
+	// a capture share its capture-attached estimate plan, so the first
+	// simulate of each (capture, suite) pair resolves every unique
+	// kernel shape once and the rest fill their overlays by copy.
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for n := 0; n < workers; n++ {
@@ -191,9 +191,7 @@ func (p *Predictor) PredictBatch(ctx context.Context, reqs []Request, opts ...Ba
 					results[i] = BatchResult{Err: errors.New("maya: batch request with nil workload")}
 					continue
 				}
-				s := applyPredictOptions(r.Options)
-				s.memo = memo
-				results[i] = p.evalBatchRequest(ctx, r.Workload, s, shared)
+				results[i] = p.evalBatchRequest(ctx, r.Workload, applyPredictOptions(r.Options), shared)
 			}
 		}()
 	}

@@ -34,6 +34,7 @@ import (
 	"maya/internal/hardware"
 	"maya/internal/models"
 	"maya/internal/prand"
+	"maya/internal/silicon"
 	"maya/internal/sim"
 	"maya/internal/trace"
 	"maya/internal/workload"
@@ -188,6 +189,98 @@ func BenchmarkSimRunPooled(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(totalOps)/float64(b.Elapsed().Seconds()/float64(b.N))/1e6, "Mops/s")
+}
+
+// BenchmarkTrainSuite measures full estimator-suite training on the
+// synthetic LLM profile: per-kernel forests (column-presorted, grown
+// through the bounded worker pool) plus the collective model. This is
+// the cost a cold EstimatorCache pays per (cluster, profile kind).
+func BenchmarkTrainSuite(b *testing.B) {
+	cluster := hardware.DGXV100(1)
+	oracle := silicon.NewOracle(cluster, 7)
+	profile := estimator.SyntheticProfile(oracle, cluster, estimator.ProfileLLM, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimator.TrainSuite(profile, cluster, estimator.TrainOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateKernel measures one steady-state kernel estimate:
+// stack-buffered features plus a flattened-forest walk. The contract
+// is 0 allocs/op.
+func BenchmarkEstimateKernel(b *testing.B) {
+	cluster := hardware.DGXV100(1)
+	suite, _, err := core.DefaultSuiteCache().SuiteFor(context.Background(), cluster, core.DefaultOracle(cluster), estimator.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := &trace.Op{Kind: trace.KindKernel, Name: "cublasGemmEx",
+		Dims: []int{1, 4096, 4096, 4096}, FLOPs: 2 * 4096 * 4096 * 4096,
+		Bytes: 2 * 3 * 4096 * 4096, DType: "bf16"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.EstimateKernel(op)
+	}
+}
+
+// BenchmarkAnnotatePlan contrasts the two steady-state annotation
+// paths on the 8-worker megatron fixture: the shape-memo baseline (a
+// hash plus a sync.Map probe per op) versus the capture-attached
+// estimate plan (one table copy into the pooled overlay). "build" is
+// the one-time cost of resolving the plan.
+func BenchmarkAnnotatePlan(b *testing.B) {
+	ctx := context.Background()
+	cluster := hardware.DGXV100(1)
+	suite, _, err := core.DefaultSuiteCache().SuiteFor(ctx, cluster, core.DefaultOracle(cluster), estimator.ProfileLLM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job, _ := simBenchJob(b)
+
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := suite.BuildEstimatePlan(ctx, job, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("via-memo", func(b *testing.B) {
+		memo := estimator.NewKernelMemo()
+		ann := trace.NewAnnotations(job)
+		// Warm once: steady state is what sweeps see.
+		if err := suite.AnnotateInto(ctx, job, nil, nil, memo, ann); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ann := trace.AcquireAnnotations(job)
+			if err := suite.AnnotateInto(ctx, job, nil, nil, memo, ann); err != nil {
+				b.Fatal(err)
+			}
+			ann.Release()
+		}
+	})
+	b.Run("via-plan", func(b *testing.B) {
+		plan, err := suite.BuildEstimatePlan(ctx, job, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ann := trace.AcquireAnnotations(job)
+			if !plan.Fill(ann) {
+				b.Fatal("plan.Fill rejected the overlay")
+			}
+			ann.Release()
+		}
+	})
 }
 
 // BenchmarkForestPredict measures kernel-estimator inference.

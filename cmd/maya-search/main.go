@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 
 	"maya"
 	"maya/internal/models"
@@ -30,8 +31,10 @@ func main() {
 		parallel    = flag.Int("parallel", 8, "concurrent trials")
 		noPrune     = flag.Bool("no-prune", false, "disable fidelity-preserving pruning")
 		capCache    = flag.Int("capture-cache", 256, "capture cache capacity (0 disables); optimizers that revisit topologies skip re-emulation")
+		trainWork   = flag.Int("train-workers", runtime.GOMAXPROCS(0), "worker pool for estimator training (spans kernel classes and trees; results are identical for any value)")
 	)
 	flag.Parse()
+	maya.DefaultEstimatorCache().SetTrainWorkers(*trainWork)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

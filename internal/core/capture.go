@@ -2,14 +2,17 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync"
 	"time"
 
+	"maya/internal/estimator"
 	"maya/internal/trace"
 )
 
@@ -20,11 +23,12 @@ import (
 // participation counts the simulator's wait map needs, the dedup
 // accounting, and the peak-memory / OOM verdict.
 //
-// A capture is immutable once built: annotation and simulation
-// operate on deep copies of Job, so one capture can feed any number
-// of predictions (learned, oracle, netsim, physical replay) without
-// re-paying emulation or collation. Captures serialize with WriteTo
-// and load with ReadCapture.
+// A capture is immutable once built: annotation and simulation read
+// through pooled duration overlays (filled from capture-attached
+// estimate plans on the learned path), so one capture can feed any
+// number of predictions (learned, oracle, netsim, physical replay)
+// without re-paying emulation or collation. Captures serialize with
+// WriteTo and load with ReadCapture.
 type Capture struct {
 	// Workload and Cluster identify what was captured where.
 	Workload string
@@ -61,6 +65,98 @@ type Capture struct {
 	// reuse wins are measurable (Fig. 13-style stage accounting).
 	EmulateTime time.Duration
 	CollateTime time.Duration
+
+	// planMu guards plans: lazily built estimate plans keyed by the
+	// suite that resolved them. A plan is the capture's job fully
+	// annotated once — later Simulates against the same suite fill
+	// their overlay by a single copy instead of re-walking forests.
+	// Runtime-only state: plans never serialize and a reloaded
+	// capture rebuilds them on first use. The map is bounded
+	// (maxPlansPerCapture, insertion-order eviction): suite pointers
+	// go stale when the estimator cache retrains, and a long-lived
+	// capture must not pin every suite it ever simulated against.
+	planMu    sync.Mutex
+	plans     map[*estimator.Suite]*planEntry
+	planOrder []*estimator.Suite
+}
+
+// maxPlansPerCapture bounds how many suites' plans one capture
+// retains. Real callers use one or two suite identities per capture
+// (the learned suite, plus its netsim view); the bound only matters
+// when estimator-cache evictions mint fresh suites repeatedly.
+const maxPlansPerCapture = 8
+
+// planEntry is one in-flight or completed estimate plan.
+type planEntry struct {
+	ready chan struct{} // closed once the build finished
+	plan  *estimator.EstimatePlan
+	err   error
+}
+
+// planFor returns the capture's estimate plan for the suite, building
+// it on first use. Exactly one caller builds per (capture, suite)
+// pair; concurrent callers wait on the in-flight build but honor
+// their own ctx. A cancelled or failed build is not cached: the entry
+// is dropped, the next lookup retries, and a waiter whose own ctx is
+// still alive when the builder's was cancelled takes over the build.
+func (c *Capture) planFor(ctx context.Context, suite *estimator.Suite) (*estimator.EstimatePlan, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		c.planMu.Lock()
+		if e, ok := c.plans[suite]; ok {
+			c.planMu.Unlock()
+			select {
+			case <-e.ready:
+				if e.err != nil && ctxError(e.err) && ctx.Err() == nil {
+					continue
+				}
+				return e.plan, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if c.plans == nil {
+			c.plans = make(map[*estimator.Suite]*planEntry)
+		}
+		if len(c.plans) >= maxPlansPerCapture {
+			// Evict the oldest-inserted plan: its suite has likely
+			// been retrained away. Evicted entries stay valid for
+			// whoever already holds them; a future lookup of that
+			// suite just rebuilds.
+			c.dropPlanLocked(c.planOrder[0])
+		}
+		e := &planEntry{ready: make(chan struct{})}
+		c.plans[suite] = e
+		c.planOrder = append(c.planOrder, suite)
+		c.planMu.Unlock()
+
+		e.plan, e.err = suite.BuildEstimatePlan(ctx, c.Job, c.Comms, c.CommSizes)
+
+		if e.err != nil {
+			c.planMu.Lock()
+			if c.plans[suite] == e {
+				c.dropPlanLocked(suite)
+			}
+			c.planMu.Unlock()
+		}
+		close(e.ready)
+		return e.plan, e.err
+	}
+}
+
+// dropPlanLocked removes a suite's plan entry and its insertion-order
+// record. Callers hold planMu.
+func (c *Capture) dropPlanLocked(suite *estimator.Suite) {
+	delete(c.plans, suite)
+	for i, s := range c.planOrder {
+		if s == suite {
+			c.planOrder = append(c.planOrder[:i], c.planOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // baseReport starts a Report with everything the capture already

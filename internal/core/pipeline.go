@@ -45,9 +45,6 @@ type Options struct {
 	// Oracle, when set, annotates kernels with ground-truth runtimes
 	// instead of learned estimates — the "oracle" rows of Table 3.
 	Oracle *silicon.Oracle
-	// Memo, when set, shares kernel-runtime estimates across
-	// predictions (batch sweeps over one model reuse most shapes).
-	Memo *estimator.KernelMemo
 	// Seed namespaces measurement randomness for actual runs.
 	Seed uint64
 	// Observer, when set, watches the simulation at CUDA-API
@@ -139,10 +136,11 @@ func (r *Report) String() string {
 //
 //	Capture  — emulate + collate (the expensive half); yields a
 //	           reusable, immutable Capture
-//	Simulate — annotate a deep copy (learned suite or Opts.Oracle)
-//	           and replay it in prediction mode
-//	Measure  — annotate a deep copy with silicon ground truth and
-//	           replay it in physical mode (the deployment stand-in)
+//	Simulate — annotate a pooled duration overlay (learned suite via
+//	           the capture's estimate plan, or Opts.Oracle) and
+//	           replay in prediction mode
+//	Measure  — annotate with silicon ground truth and replay in
+//	           physical mode (the deployment stand-in)
 //
 // Predict and MeasureActual are thin compositions; callers that
 // evaluate one workload several ways (oracle vs learned, ±netsim,
@@ -204,13 +202,18 @@ func (p *Pipeline) Capture(ctx context.Context, w workload.Workload) (*Capture, 
 
 // Simulate annotates a view of the capture's job — with the
 // ground-truth oracle when Opts.Oracle is set, otherwise with the
-// learned suite (sharing Opts.Memo when present) — and replays it in
-// prediction mode. The capture is never mutated: annotations land in
-// a pooled duration overlay the simulator reads through (falling back
-// to a deep copy for jobs the overlay cannot index), so any number of
-// concurrent Simulate calls can reuse one capture; the report's
-// Emulate/Collate stage timings are zero because those stages did not
-// run.
+// learned suite — and replays it in prediction mode. The capture is
+// never mutated: annotations land in a pooled duration overlay the
+// simulator reads through (falling back to a deep copy for jobs the
+// overlay cannot index), so any number of concurrent Simulate calls
+// can reuse one capture; the report's Emulate/Collate stage timings
+// are zero because those stages did not run.
+//
+// Suite annotation goes through the capture-attached estimate plan:
+// the first Simulate of a (capture, suite) pair resolves every unique
+// kernel shape once into a positional duration table, and every later
+// Simulate of the pair — batch sweeps, search trials, repeated
+// per-call annotation — fills the overlay with one copy.
 func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -233,7 +236,18 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 		if p.Suite == nil {
 			return nil, errors.New("core: Simulate needs a trained Suite or an Oracle")
 		}
-		err = p.Suite.AnnotateInto(ctx, job, c.Comms, c.CommSizes, p.Opts.Memo, ann)
+		if ann != nil {
+			var plan *estimator.EstimatePlan
+			plan, err = c.planFor(ctx, p.Suite)
+			if err == nil && !plan.Fill(ann) {
+				// The plan was built for this capture's job, so a
+				// layout mismatch cannot happen; annotate directly if
+				// it somehow does.
+				err = p.Suite.AnnotateInto(ctx, job, c.Comms, c.CommSizes, nil, ann)
+			}
+		} else {
+			err = p.Suite.AnnotateInto(ctx, job, c.Comms, c.CommSizes, nil, nil)
+		}
 	}
 	if err != nil {
 		return nil, err

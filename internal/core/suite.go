@@ -38,6 +38,24 @@ type SuiteCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	stats   CacheStats
+	// trainWorkers bounds the worker pool of trainings this cache
+	// initiates (0 means the estimator default, GOMAXPROCS).
+	trainWorkers int
+}
+
+// SetTrainWorkers bounds the worker pool used when this cache trains
+// a suite — the pool spans kernel classes and trees jointly. n <= 0
+// restores the default (runtime.GOMAXPROCS). Training output is
+// byte-identical for every worker count, so this is purely a
+// throughput/CPU-footprint knob; it affects subsequent trainings
+// only.
+func (c *SuiteCache) SetTrainWorkers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.trainWorkers = n
 }
 
 type cacheEntry struct {
@@ -109,9 +127,10 @@ func (c *SuiteCache) SuiteFor(ctx context.Context, cluster hardware.Cluster, ora
 		e := &cacheEntry{ready: make(chan struct{})}
 		c.entries[key] = e
 		c.stats.Misses++
+		workers := c.trainWorkers
 		c.mu.Unlock()
 
-		e.suite, e.mape, e.err = trainSuite(ctx, cluster, oracle, kind)
+		e.suite, e.mape, e.err = trainSuite(ctx, cluster, oracle, kind, workers)
 
 		c.mu.Lock()
 		if e.err != nil {
@@ -178,7 +197,7 @@ func (c *SuiteCache) Stats() CacheStats {
 	return s
 }
 
-func trainSuite(ctx context.Context, cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind) (*estimator.Suite, map[string]float64, error) {
+func trainSuite(ctx context.Context, cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind, workers int) (*estimator.Suite, map[string]float64, error) {
 	profile, err := BuildProfile(ctx, oracle, cluster, kind)
 	if err != nil {
 		return nil, nil, err
@@ -186,7 +205,7 @@ func trainSuite(ctx context.Context, cluster hardware.Cluster, oracle *silicon.O
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return estimator.TrainAndEvaluate(profile, cluster, estimator.TrainOptions{})
+	return estimator.TrainAndEvaluate(profile, cluster, estimator.TrainOptions{Workers: workers})
 }
 
 // DefaultOracle returns the canonical silicon instance for a cluster:

@@ -27,24 +27,34 @@ const featureLen = 14
 // log-scaled work volumes, up to eight semantic dimensions, element
 // type and compiler-IR features for fused kernels.
 func KernelFeatures(op *trace.Op) []float64 {
-	x := make([]float64, featureLen)
-	x[0] = math.Log2(1 + float64(op.FLOPs))
-	x[1] = math.Log2(1 + float64(op.Bytes))
+	return AppendKernelFeatures(make([]float64, 0, featureLen), op)
+}
+
+// AppendKernelFeatures appends op's feature vector to dst and returns
+// the extended slice — the allocation-free path for hot loops, which
+// pass a stack-backed dst (see EstimateKernel). The layout is
+// identical to KernelFeatures.
+func AppendKernelFeatures(dst []float64, op *trace.Op) []float64 {
+	dst = append(dst,
+		math.Log2(1+float64(op.FLOPs)),
+		math.Log2(1+float64(op.Bytes)))
 	for i := 0; i < 8; i++ {
 		if i < len(op.Dims) {
-			x[2+i] = math.Log2(1 + float64(op.Dims[i]))
+			dst = append(dst, math.Log2(1+float64(op.Dims[i])))
+		} else {
+			dst = append(dst, 0)
 		}
 	}
-	x[10] = float64(hardware.DType(op.DType).Size())
+	dst = append(dst, float64(hardware.DType(op.DType).Size()))
 	if op.Extra != nil {
-		x[11] = op.Extra["triton_instrs"]
-		x[12] = op.Extra["triton_loads"]
+		dst = append(dst, op.Extra["triton_instrs"], op.Extra["triton_loads"])
+	} else {
+		dst = append(dst, 0, 0)
 	}
 	// The element type identity matters beyond its width: bf16 and
 	// fp16 share a size but can differ 4x in tensor-core throughput
 	// on pre-Ampere parts.
-	x[13] = dtypeCode(op.DType)
-	return x
+	return append(dst, dtypeCode(op.DType))
 }
 
 func dtypeCode(dt string) float64 {
@@ -101,10 +111,14 @@ func (s *Suite) KernelNames() []string {
 }
 
 // EstimateKernel predicts the duration of a compute/memory op,
-// falling back to an analytical roofline for unprofiled kernels.
+// falling back to an analytical roofline for unprofiled kernels. It
+// performs no heap allocation in steady state: the feature vector
+// lives in a stack buffer and the flattened forest walk allocates
+// nothing.
 func (s *Suite) EstimateKernel(op *trace.Op) time.Duration {
 	if f, ok := s.kernels[op.Name]; ok {
-		logNs := f.Predict(KernelFeatures(op))
+		var buf [featureLen]float64
+		logNs := f.Predict(AppendKernelFeatures(buf[:0], op))
 		return time.Duration(math.Exp(logNs))
 	}
 	return s.analyticalKernel(op)
@@ -136,12 +150,18 @@ func (s *Suite) EstimateCollective(opName string, bytes int64, ranks []int, nran
 	return s.coll.Estimate(opName, bytes, ranks, nranks)
 }
 
-// KernelMemo caches kernel-runtime estimates by operation shape, for
-// reuse across the many predictions of a batch sweep: configurations
-// of one model share most kernel shapes, so later requests skip the
-// forest inference entirely. Safe for concurrent use. Collectives are
-// never memoized (their time depends on communicator topology), nor
-// are kernels carrying Extra features.
+// KernelMemo caches kernel-runtime estimates by operation shape.
+// Safe for concurrent use. Collectives are never memoized (their
+// time depends on communicator topology), nor are kernels carrying
+// Extra features.
+//
+// The production annotate paths no longer wire a memo: captures carry
+// an EstimatePlan, which resolves every position of a (capture,
+// suite) pair once and fills overlays by copy — strictly less work
+// per annotate than a hash and sync.Map probe per op. The memo
+// remains as the shape-level layer for callers annotating many
+// distinct jobs without captures, and as the baseline the plan is
+// benchmarked against (BenchmarkAnnotatePlan).
 type KernelMemo struct {
 	m sync.Map // uint64 shape hash -> time.Duration
 }

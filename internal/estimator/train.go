@@ -3,6 +3,7 @@ package estimator
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -44,29 +45,63 @@ const (
 	ProfileAll
 )
 
+// Effective suite-training defaults. The forest package's generic
+// defaults (24 trees, depth 14) are deliberately overridden here:
+// per-kernel runtime surfaces are smooth enough that 16 shallower
+// trees match the deeper ensemble's held-out MAPE at ~60% of the
+// training cost, and a suite trains one forest per kernel class.
+// These constants are the single source of truth for what
+// TrainOptions' zero values mean; a test pins them.
+const (
+	// DefaultSuiteTrees is the per-kernel forest size suite training
+	// uses when TrainOptions.Forest.Trees is zero.
+	DefaultSuiteTrees = 16
+	// DefaultSuiteMaxDepth is the tree-depth cap suite training uses
+	// when TrainOptions.Forest.MaxDepth is zero.
+	DefaultSuiteMaxDepth = 12
+	// DefaultMinSamples is the minimum per-kernel sample count to
+	// train a forest; rarer kernels use the analytical fallback.
+	DefaultMinSamples = 40
+)
+
 // TrainOptions tunes suite training.
 type TrainOptions struct {
+	// Forest configures the per-kernel forests. Zero Trees/MaxDepth
+	// take the suite defaults (DefaultSuiteTrees/DefaultSuiteMaxDepth,
+	// not the forest package's generic 24/14); other zero fields take
+	// the forest package's defaults.
 	Forest forest.Options
 	// MinSamples is the minimum per-kernel sample count to train a
-	// forest; rarer kernels use the analytical fallback.
+	// forest (default DefaultMinSamples); rarer kernels use the
+	// analytical fallback.
 	MinSamples int
+	// Workers bounds the training worker pool, which spans kernel
+	// classes and trees jointly (<= 0 means runtime.GOMAXPROCS(0)).
+	// Per-tree seeds are independently derived, so the trained suite
+	// is byte-identical for every worker count.
+	Workers int
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
 	if o.MinSamples == 0 {
-		o.MinSamples = 40
+		o.MinSamples = DefaultMinSamples
 	}
 	if o.Forest.Trees == 0 {
-		o.Forest.Trees = 16
+		o.Forest.Trees = DefaultSuiteTrees
 	}
 	if o.Forest.MaxDepth == 0 {
-		o.Forest.MaxDepth = 12
+		o.Forest.MaxDepth = DefaultSuiteMaxDepth
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
 
 // TrainSuite fits per-kernel forests and the collective model from a
-// profile.
+// profile. All (kernel class, tree) tasks run through one bounded
+// worker pool (opts.Workers wide), so training scales with cores on
+// both axes; the result is byte-identical to serial training.
 func TrainSuite(profile []ProfileSample, cluster hardware.Cluster, opts TrainOptions) (*Suite, error) {
 	opts = opts.withDefaults()
 	byName := make(map[string][]forest.Sample)
@@ -95,6 +130,8 @@ func TrainSuite(profile []ProfileSample, cluster hardware.Cluster, opts TrainOpt
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var jobs []forest.TrainJob
+	var jobNames []string
 	for _, name := range names {
 		samples := byName[name]
 		if len(samples) < opts.MinSamples {
@@ -102,31 +139,26 @@ func TrainSuite(profile []ProfileSample, cluster hardware.Cluster, opts TrainOpt
 		}
 		fopts := opts.Forest
 		fopts.Seed = prand.Hash64("forest", cluster.Name, name)
-		f, err := forest.Train(samples, fopts)
-		if err != nil {
-			return nil, fmt.Errorf("estimator: training %s: %w", name, err)
-		}
-		s.kernels[name] = f
+		jobs = append(jobs, forest.TrainJob{Samples: samples, Opts: fopts})
+		jobNames = append(jobNames, name)
+	}
+	forests, err := forest.TrainForests(jobs, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: training kernel forests: %w", err)
+	}
+	for i, name := range jobNames {
+		s.kernels[name] = forests[i]
 	}
 	return s, nil
 }
 
 // TrainAndEvaluate splits the profile 80:20, trains on the larger
 // share and reports held-out per-kernel MAPE — the evaluation behind
-// the paper's Tables 7–9.
+// the paper's Tables 7–9. The split is the shared seeded-permutation
+// holdout (forest.SplitN), so it stays byte-identical to what
+// forest.Split produces for the same seed and test count.
 func TrainAndEvaluate(profile []ProfileSample, cluster hardware.Cluster, opts TrainOptions) (*Suite, map[string]float64, error) {
-	rng := prand.New(prand.Hash64("split", cluster.Name))
-	perm := rng.Perm(len(profile))
-	nTest := len(profile) / 5
-	test := make([]ProfileSample, 0, nTest)
-	train := make([]ProfileSample, 0, len(profile)-nTest)
-	for i, p := range perm {
-		if i < nTest {
-			test = append(test, profile[p])
-		} else {
-			train = append(train, profile[p])
-		}
-	}
+	train, test := forest.SplitN(profile, len(profile)/5, prand.Hash64("split", cluster.Name))
 	s, err := TrainSuite(train, cluster, opts)
 	if err != nil {
 		return nil, nil, err

@@ -2,6 +2,7 @@ package forest
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -143,6 +144,206 @@ func TestErrors(t *testing.T) {
 	bad := []Sample{{X: []float64{1, 2}, Y: 0}, {X: []float64{1}, Y: 0}}
 	if _, err := Train(bad, Options{}); err == nil {
 		t.Fatal("expected error for inconsistent feature lengths")
+	}
+}
+
+// refNode is the pointer-tree view of a flattened forest, for the
+// bit-identity property test: the flat walk must agree exactly with
+// the classic pointer walk over the same trees.
+type refNode struct {
+	feature     int
+	thresh      float64
+	left, right *refNode
+	value       float64
+}
+
+// refTrees materializes the forest's flattened node store back into
+// pointer trees.
+func refTrees(f *Forest) []*refNode {
+	var build func(id int32) *refNode
+	build = func(id int32) *refNode {
+		if id < 0 {
+			return &refNode{value: f.leaf[^id]}
+		}
+		return &refNode{
+			feature: int(f.feat[id]),
+			thresh:  f.thresh[id],
+			left:    build(f.left[id]),
+			right:   build(f.right[id]),
+		}
+	}
+	trees := make([]*refNode, len(f.roots))
+	for i, r := range f.roots {
+		trees[i] = build(r)
+	}
+	return trees
+}
+
+// refPredict is the pointer-tree ensemble walk, accumulating in tree
+// order exactly like Forest.Predict.
+func refPredict(trees []*refNode, x []float64) float64 {
+	var sum float64
+	for _, tr := range trees {
+		n := tr
+		for n.left != nil {
+			if x[n.feature] <= n.thresh {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		sum += n.value
+	}
+	return sum / float64(len(trees))
+}
+
+func TestFlatPredictMatchesPointerWalk(t *testing.T) {
+	// Property: across randomized forests and inputs, the flattened
+	// struct-of-arrays walk is bit-identical to the pointer-tree walk
+	// (same comparisons, same leaf values, same summation order).
+	if err := quick.Check(func(seed uint64) bool {
+		train := genSamples(300, 4, seed, 0.05, func(x []float64) float64 {
+			return x[0]*x[3] + math.Sin(4*x[1])
+		})
+		fr, err := Train(train, Options{Seed: seed, Trees: 6, MaxDepth: 7})
+		if err != nil {
+			return false
+		}
+		trees := refTrees(fr)
+		rng := prand.New(seed ^ 0xabcdef)
+		for i := 0; i < 100; i++ {
+			// Probe beyond the training range too: out-of-range inputs
+			// exercise every branch direction.
+			x := []float64{
+				rng.Float64()*3 - 1, rng.Float64()*3 - 1,
+				rng.Float64()*3 - 1, rng.Float64()*3 - 1,
+			}
+			if fr.Predict(x) != refPredict(trees, x) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafEncodingRoundTrips(t *testing.T) {
+	// Single-node trees encode their root as a leaf index; a constant
+	// target forces exactly that shape.
+	train := genSamples(50, 2, 23, 0, func([]float64) float64 { return 1.5 })
+	fr, err := Train(train, Options{Seed: 3, Trees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range fr.roots {
+		if root >= 0 {
+			t.Fatalf("constant-target tree has internal root %d", root)
+		}
+	}
+	if v := fr.Predict([]float64{0.1, 0.9}); v != 1.5 {
+		t.Fatalf("Predict = %v, want 1.5", v)
+	}
+}
+
+func TestTrainParallelMatchesSerial(t *testing.T) {
+	train := genSamples(1200, 5, 31, 0.05, func(x []float64) float64 {
+		return 2*x[0] - x[1]*x[4] + x[2]
+	})
+	serial, err := Train(train, Options{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Train(train, Options{Seed: 11, Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel training produced a different forest than serial")
+	}
+}
+
+func TestTrainForestsMatchesIndividualTrain(t *testing.T) {
+	jobs := []TrainJob{
+		{Samples: genSamples(400, 3, 41, 0.02, func(x []float64) float64 { return x[0] + x[1] }),
+			Opts: Options{Seed: 1, Trees: 5, MaxDepth: 6}},
+		{Samples: genSamples(250, 2, 43, 0.02, func(x []float64) float64 { return x[0] * x[1] }),
+			Opts: Options{Seed: 2, Trees: 3, MaxDepth: 5}},
+		{Samples: genSamples(90, 4, 47, 0, func(x []float64) float64 { return x[3] }),
+			Opts: Options{Seed: 3, Trees: 8, MaxDepth: 4}},
+	}
+	batch, err := TrainForests(jobs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, job := range jobs {
+		lone, err := Train(job.Samples, job.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], lone) {
+			t.Fatalf("job %d: pooled TrainForests result differs from lone Train", i)
+		}
+	}
+}
+
+func TestTrainForestsValidatesPerJob(t *testing.T) {
+	good := genSamples(50, 2, 51, 0, func(x []float64) float64 { return x[0] })
+	if _, err := TrainForests([]TrainJob{{Samples: good}, {}}, 2); err == nil {
+		t.Fatal("expected error for empty job in batch")
+	}
+	bad := []Sample{{X: []float64{1, 2}, Y: 0}, {X: []float64{1}, Y: 0}}
+	if _, err := TrainForests([]TrainJob{{Samples: good}, {Samples: bad}}, 2); err == nil {
+		t.Fatal("expected error for inconsistent features in batch")
+	}
+}
+
+func TestOptionsDefaultsPinned(t *testing.T) {
+	// The package's generic defaults. Suite training overrides Trees
+	// and MaxDepth (pinned on the estimator side); this test keeps the
+	// doc comments honest.
+	o := Options{}.withDefaults()
+	if o.Trees != 24 || o.MaxDepth != 14 || o.MinLeaf != 2 ||
+		o.FeatureFrac != 0.7 || o.SampleFrac != 0.85 || o.Workers != 1 {
+		t.Fatalf("generic forest defaults changed: %+v", o)
+	}
+}
+
+func TestAllConstantFeaturesYieldMeanLeaf(t *testing.T) {
+	// Every feature identical across samples: no split exists, every
+	// tree is a single weighted-mean leaf, and predictions stay
+	// within the target range.
+	samples := make([]Sample, 60)
+	for i := range samples {
+		samples[i] = Sample{X: []float64{1, 2, 3}, Y: float64(i % 7)}
+	}
+	fr, err := Train(samples, Options{Seed: 5, Trees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.NumNodes() != 0 {
+		t.Fatalf("constant-feature forest has %d internal nodes, want 0", fr.NumNodes())
+	}
+	if v := fr.Predict([]float64{9, 9, 9}); v < 0 || v > 6 {
+		t.Fatalf("Predict = %v, outside target range [0, 6]", v)
+	}
+}
+
+func TestSplitNMatchesSplit(t *testing.T) {
+	samples := genSamples(137, 2, 61, 0, func(x []float64) float64 { return x[1] })
+	train1, test1 := Split(samples, 0.2, 99)
+	train2, test2 := SplitN(samples, int(float64(len(samples))*0.2), 99)
+	if !reflect.DeepEqual(train1, train2) || !reflect.DeepEqual(test1, test2) {
+		t.Fatal("SplitN disagrees with Split for the same seed and test count")
+	}
+	// Degenerate bounds clamp instead of panicking.
+	tr, te := SplitN(samples, -5, 1)
+	if len(te) != 0 || len(tr) != len(samples) {
+		t.Fatalf("SplitN(-5): %d/%d", len(tr), len(te))
+	}
+	tr, te = SplitN(samples, len(samples)+5, 1)
+	if len(tr) != 0 || len(te) != len(samples) {
+		t.Fatalf("SplitN(n+5): %d/%d", len(tr), len(te))
 	}
 }
 

@@ -56,11 +56,17 @@ func (s *SplitMix64) NormFloat64() float64 {
 
 // Perm returns a random permutation of [0, n), Fisher–Yates.
 func (s *SplitMix64) Perm(n int) []int {
-	p := make([]int, n)
+	return s.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a random permutation of [0, len(p)) and
+// returns it — Perm without the allocation, for hot loops that reuse
+// a scratch slice. It consumes the generator identically to Perm.
+func (s *SplitMix64) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := s.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}

@@ -109,6 +109,32 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestPermIntoMatchesPerm(t *testing.T) {
+	// PermInto must consume the generator identically to Perm, so the
+	// allocation-free path is a drop-in replacement.
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		want := New(seed).Perm(n)
+		buf := make([]int, n)
+		got := New(seed).PermInto(buf)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// And the generators must be left in the same state.
+		a, b := New(seed), New(seed)
+		a.Perm(n)
+		b.PermInto(buf)
+		return a.Uint64() == b.Uint64()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHash64SeparatorMatters(t *testing.T) {
 	if Hash64("ab", "c") == Hash64("a", "bc") {
 		t.Fatal("Hash64 ignores part boundaries")

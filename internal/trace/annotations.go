@@ -73,6 +73,26 @@ func (a *Annotations) Rebind(job *Job) bool {
 	return true
 }
 
+// Snapshot returns a copy of the overlay's full duration table in
+// row-major layout — exactly the table FillFrom accepts. Estimate
+// plans are built this way: annotate once into an overlay, snapshot
+// it, replay the snapshot into later overlays by copy.
+func (a *Annotations) Snapshot() []time.Duration {
+	return append([]time.Duration(nil), a.durs...)
+}
+
+// FillFrom overwrites the whole overlay from a precomputed duration
+// table laid out row-major like the overlay itself (an estimate
+// plan's table). It reports false — leaving the overlay unchanged —
+// when the table's length does not match the overlay's.
+func (a *Annotations) FillFrom(durs []time.Duration) bool {
+	if len(durs) != len(a.durs) {
+		return false
+	}
+	copy(a.durs, durs)
+	return true
+}
+
 // Dur returns the overlay duration of op seq of worker w.
 func (a *Annotations) Dur(w, seq int) time.Duration {
 	return a.durs[a.offsets[w]+seq]

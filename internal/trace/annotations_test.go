@@ -70,6 +70,35 @@ func TestAnnotationsRebindReusesAndReseeds(t *testing.T) {
 	}
 }
 
+func TestAnnotationsFillFrom(t *testing.T) {
+	job := annJob(t)
+	a := NewAnnotations(job)
+	durs := []time.Duration{1, 2, 3, 4, 5} // row-major: w0 then w1
+	if !a.FillFrom(durs) {
+		t.Fatal("FillFrom rejected a matching table")
+	}
+	want := [][]time.Duration{{1, 2}, {3, 4, 5}}
+	for wi, row := range want {
+		for i, d := range row {
+			if got := a.Dur(wi, i); got != d {
+				t.Fatalf("Dur(%d,%d) = %v, want %v", wi, i, got, d)
+			}
+		}
+	}
+	// A mismatched table is rejected and the overlay untouched.
+	if a.FillFrom(durs[:3]) {
+		t.Fatal("FillFrom accepted a short table")
+	}
+	if got := a.Dur(1, 2); got != 5 {
+		t.Fatalf("rejected FillFrom mutated the overlay: %v", got)
+	}
+	// The table is copied, not aliased.
+	durs[0] = 99
+	if got := a.Dur(0, 0); got != 1 {
+		t.Fatalf("FillFrom aliased the source table: %v", got)
+	}
+}
+
 func TestAnnotationsRejectNonPositionalJob(t *testing.T) {
 	// Hand-built worker whose Seq numbers are not indexes.
 	w := &Worker{Rank: 0, World: 1, Ops: []Op{{Seq: 3, Kind: KindKernel}}}

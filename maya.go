@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"maya/internal/core"
 	"maya/internal/estimator"
@@ -158,6 +159,15 @@ type Predictor struct {
 	captures *CaptureCache
 	netsim   bool
 	oracle   *silicon.Oracle
+
+	// netsimSuites memoizes the netsim-wrapped view of each resolved
+	// base suite. Wrapping allocates a new *Suite, and capture-
+	// attached estimate plans are keyed by suite pointer — without
+	// memoization every netsim call would mint a fresh suite and
+	// rebuild its plans from scratch.
+	netsimMu    sync.Mutex
+	netsimBase  *estimator.Suite
+	netsimSuite *estimator.Suite
 }
 
 // predictorConfig collects NewPredictor options.
@@ -299,7 +309,6 @@ type predictSettings struct {
 	netsim    *bool
 	seed      *uint64
 	validate  *bool
-	memo      *estimator.KernelMemo // batch-shared estimate memo
 }
 
 // PredictOption customizes one Predict, MeasureActual, Capture,
@@ -400,9 +409,24 @@ func (p *Predictor) resolveSuite(ctx context.Context, s predictSettings) (*estim
 		useNetsim = *s.netsim
 	}
 	if useNetsim {
-		suite = suite.WithCollectiveEstimator(netsim.New(p.cluster))
+		suite = p.netsimView(suite)
 	}
 	return suite, nil
+}
+
+// netsimView returns the netsim-collective wrapping of base, reusing
+// the previous wrapper while base is unchanged so repeated netsim
+// calls present one stable suite identity (the key capture-attached
+// estimate plans are cached under). A cache eviction hands back a new
+// base suite, which transparently mints a new wrapper.
+func (p *Predictor) netsimView(base *estimator.Suite) *estimator.Suite {
+	p.netsimMu.Lock()
+	defer p.netsimMu.Unlock()
+	if p.netsimBase != base {
+		p.netsimBase = base
+		p.netsimSuite = base.WithCollectiveEstimator(netsim.New(p.cluster))
+	}
+	return p.netsimSuite
 }
 
 // capturePipeline builds the pipeline view for the capture stage:
@@ -425,7 +449,6 @@ func (p *Predictor) capturePipeline(s predictSettings) *core.Pipeline {
 // therefore never train.
 func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.Pipeline, error) {
 	pipe := p.capturePipeline(s)
-	pipe.Opts.Memo = s.memo
 	pipe.Opts.Observer = s.observer
 	pipe.Opts.Breakdown = s.breakdown
 	if s.oracle {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"maya/internal/estimator"
 	"maya/internal/framework"
 	"maya/internal/search"
 )
@@ -37,14 +36,15 @@ func MegatronSearchSpace() search.Space { return search.MegatronSpace() }
 // outcome is returned alongside ctx.Err().
 //
 // Trial evaluations are pooled the way batch sweeps are: every
-// candidate shares one kernel-estimate memo (recipes of one model
-// reuse most kernel shapes), every replay draws its simulation
-// engine from the process-wide pool and annotates through a pooled
-// duration overlay instead of deep-copying the trace, so a
-// 2000-trial search allocates engine storage a handful of times, not
-// 2000. With WithCaptureCache, trials whose topology was already
-// captured — in this search, a previous search, or a PredictBatch
-// sweep — skip emulation and collation entirely.
+// capture carries its estimate plan (the first simulate of a trial's
+// capture resolves each unique kernel shape once; re-visited
+// topologies annotate by a single table copy), every replay draws
+// its simulation engine from the process-wide pool and annotates
+// through a pooled duration overlay instead of deep-copying the
+// trace, so a 2000-trial search allocates engine storage a handful
+// of times, not 2000. With WithCaptureCache, trials whose topology
+// was already captured — in this search, a previous search, or a
+// PredictBatch sweep — skip emulation and collation entirely.
 func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts SearchOptions) (*SearchOutcome, error) {
 	if problem.Cluster.Name == "" {
 		problem.Cluster = p.cluster
@@ -53,7 +53,6 @@ func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts 
 			problem.Cluster.Name, p.cluster.Name)
 	}
 	settings := applyPredictOptions(nil)
-	settings.memo = estimator.NewKernelMemo()
 	pipe, err := p.pipelineFor(ctx, settings)
 	if err != nil {
 		return nil, err
