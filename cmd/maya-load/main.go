@@ -1,0 +1,284 @@
+// Command maya-load is a closed-loop load generator for maya-serve:
+// N concurrent clients issue predictions back-to-back (optionally
+// paced to a target RPS), spread across tenants and a named workload
+// mix, and the run summarizes throughput and latency quantiles as
+// JSON — the client half of the saturation benchmarks.
+//
+//	maya-load -addr http://127.0.0.1:8080 -duration 10s -concurrency 16 -mix sweep
+//
+// Mixes (drawn from the repo's examples):
+//
+//	smoke    one small oracle-annotated recipe — no estimator
+//	         training, the CI smoke default
+//	sweep    six distinct parallelism variants of the same model —
+//	         exercises the capture cache and worker pool
+//	coalesce one identical request repeated — exercises single-flight
+//	         coalescing (watch coalesced in the summary)
+//	quickstart the README's GPT-3 18.4B recipe, learned annotation —
+//	         requires a warmed server
+//
+// The process exits non-zero if no request succeeded, so CI can
+// assert liveness with the exit code alone.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"maya/internal/buildinfo"
+	"maya/internal/serve"
+)
+
+// mixes names the request mixes. Requests cycle through a mix's specs
+// in order, per global request index.
+var mixes = map[string][]serve.PredictSpec{
+	"smoke": {
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2, Annotation: "oracle"},
+	},
+	"sweep": {
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2, Annotation: "oracle"},
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 4, Annotation: "oracle"},
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 8, Annotation: "oracle"},
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 4, PP: 2, MicroBatches: 2, Annotation: "oracle"},
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 4, MicroBatches: 4, Annotation: "oracle"},
+		{Model: "gpt3-1.3b", GlobalBatch: 32, TP: 2, PP: 2, MicroBatches: 4, Annotation: "oracle"},
+	},
+	"coalesce": {
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2, Annotation: "learned"},
+	},
+	"quickstart": {
+		{Model: "gpt3-18.4b", GlobalBatch: 256, TP: 2, PP: 4, MicroBatches: 8,
+			SeqParallel: true, ActRecompute: true, DistOptimizer: true, Annotation: "learned"},
+	},
+}
+
+// sample is one completed request.
+type sample struct {
+	latencyMS float64
+	status    int
+	coalesced bool
+	err       error
+}
+
+// summary is the run's JSON report.
+type summary struct {
+	Mix         string  `json:"mix"`
+	Concurrency int     `json:"concurrency"`
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+
+	Sent      int64 `json:"sent"`
+	OK        int64 `json:"ok"`
+	Throttled int64 `json:"throttled"`
+	Rejected  int64 `json:"rejected"`
+	Errors    int64 `json:"errors"`
+	Coalesced int64 `json:"coalesced"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	LatencyMS struct {
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"latency_ms"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "maya-serve base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = flag.Int("concurrency", 8, "concurrent closed-loop clients")
+		rps         = flag.Float64("rps", 0, "target aggregate request rate (0 = unpaced closed loop)")
+		mixName     = flag.String("mix", "smoke", "workload mix: smoke | sweep | coalesce | quickstart")
+		tenants     = flag.String("tenants", "loadgen", "comma-separated tenant names, assigned round-robin")
+		deadline    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		version     = flag.Bool("version", false, "print build info and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+
+	mix, ok := mixes[*mixName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "maya-load: unknown mix %q (have smoke, sweep, coalesce, quickstart)\n", *mixName)
+		os.Exit(2)
+	}
+	tenantList := strings.Split(*tenants, ",")
+	bodies := make([][]byte, len(mix))
+	for i := range mix {
+		b, err := json.Marshal(mix[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maya-load:", err)
+			os.Exit(1)
+		}
+		bodies[i] = b
+	}
+
+	// Optional pacing: a shared ticker the workers draw from. Without
+	// it, each worker re-issues the moment its previous answer lands
+	// (pure closed loop).
+	var pace <-chan time.Time
+	if *rps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *rps))
+		defer t.Stop()
+		pace = t.C
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	client := &http.Client{Timeout: *deadline}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base // bare host:port is fine
+	}
+	url := base + "/v1/predict"
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		seq     int64 // global request index, for mix/tenant round-robin
+	)
+	next := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		seq++
+		return seq - 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-ctx.Done():
+						return
+					}
+				}
+				i := next()
+				s := issue(ctx, client, url, bodies[i%int64(len(bodies))],
+					tenantList[i%int64(len(tenantList))])
+				if ctx.Err() != nil && s.err != nil {
+					return // cut short by the run deadline, not a real failure
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := summarize(samples, elapsed)
+	out.Mix, out.Concurrency, out.TargetRPS = *mixName, *concurrency, *rps
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+	if out.OK == 0 {
+		fmt.Fprintln(os.Stderr, "maya-load: no request succeeded")
+		os.Exit(1)
+	}
+}
+
+// issue sends one prediction and classifies the outcome.
+func issue(ctx context.Context, client *http.Client, url string, body []byte, tenant string) sample {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return sample{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Maya-Tenant", tenant)
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{err: err, latencyMS: msSince(start)}
+	}
+	defer resp.Body.Close()
+	var answer struct {
+		Coalesced bool `json:"coalesced"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	json.Unmarshal(raw, &answer)
+	return sample{
+		latencyMS: msSince(start),
+		status:    resp.StatusCode,
+		coalesced: answer.Coalesced,
+	}
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// summarize folds the samples into the run report.
+func summarize(samples []sample, elapsed time.Duration) summary {
+	var out summary
+	out.DurationS = elapsed.Seconds()
+	var oks []float64
+	var sum float64
+	for _, s := range samples {
+		out.Sent++
+		switch {
+		case s.err != nil:
+			out.Errors++
+		case s.status == http.StatusOK:
+			out.OK++
+			oks = append(oks, s.latencyMS)
+			sum += s.latencyMS
+			if s.coalesced {
+				out.Coalesced++
+			}
+		case s.status == http.StatusTooManyRequests:
+			out.Throttled++
+		case s.status == http.StatusServiceUnavailable:
+			out.Rejected++
+		default:
+			out.Errors++
+		}
+	}
+	if out.DurationS > 0 {
+		out.ThroughputRPS = float64(out.OK) / out.DurationS
+	}
+	if len(oks) > 0 {
+		sort.Float64s(oks)
+		out.LatencyMS.P50 = quantile(oks, 0.50)
+		out.LatencyMS.P90 = quantile(oks, 0.90)
+		out.LatencyMS.P99 = quantile(oks, 0.99)
+		out.LatencyMS.Max = oks[len(oks)-1]
+		out.LatencyMS.Mean = sum / float64(len(oks))
+	}
+	return out
+}
+
+// quantile reads the q-th quantile from sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	"maya"
+	"maya/internal/buildinfo"
 	"maya/internal/models"
 )
 
@@ -32,8 +33,13 @@ func main() {
 		noPrune     = flag.Bool("no-prune", false, "disable fidelity-preserving pruning")
 		capCache    = flag.Int("capture-cache", 256, "capture cache capacity (0 disables); optimizers that revisit topologies skip re-emulation")
 		trainWork   = flag.Int("train-workers", runtime.GOMAXPROCS(0), "worker pool for estimator training (spans kernel classes and trees; results are identical for any value)")
+		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 	maya.DefaultEstimatorCache().SetTrainWorkers(*trainWork)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

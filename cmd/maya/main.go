@@ -33,6 +33,7 @@ import (
 	"runtime"
 
 	"maya"
+	"maya/internal/buildinfo"
 	"maya/internal/models"
 )
 
@@ -45,6 +46,9 @@ func main() {
 	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
 		verb, args = args[0], args[1:]
 	}
+	if len(args) > 0 && args[0] == "-version" {
+		verb = "version"
+	}
 	switch verb {
 	case "predict":
 		runPredict(ctx, args)
@@ -52,8 +56,10 @@ func main() {
 		runCapture(ctx, args)
 	case "simulate":
 		runSimulate(ctx, args)
+	case "version":
+		fmt.Println(buildinfo.Get())
 	default:
-		fmt.Fprintf(os.Stderr, "maya: unknown verb %q (have predict, capture, simulate)\n", verb)
+		fmt.Fprintf(os.Stderr, "maya: unknown verb %q (have predict, capture, simulate, version)\n", verb)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,69 @@
+// Package buildinfo reports what build of Maya is running: the module
+// version and the VCS state baked into the binary by the Go toolchain
+// (debug.ReadBuildInfo). The CLIs surface it behind -version and the
+// serve daemon embeds it in /healthz, so a fleet operator can always
+// answer "which revision is serving?".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info describes the running build.
+type Info struct {
+	// Version is the module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, empty when the binary was built
+	// outside a checkout (e.g. go test binaries).
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time in RFC 3339, when known.
+	Time string `json:"time,omitempty"`
+	// Dirty marks builds from a checkout with uncommitted changes.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the build information of the running binary. It never
+// fails: binaries without embedded build info (rare; some test
+// harnesses) report version "unknown".
+func Get() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info on one line, the shape every -version flag
+// prints: "maya <version> (<revision>[+dirty], <go version>)".
+func (i Info) String() string {
+	rev := i.Revision
+	if rev == "" {
+		rev = "no vcs"
+	} else {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Dirty {
+			rev += "+dirty"
+		}
+	}
+	return fmt.Sprintf("maya %s (%s, %s)", i.Version, rev, i.GoVersion)
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // CaptureCacheStats is a snapshot of CaptureLRU accounting.
@@ -23,12 +24,18 @@ type CaptureCacheStats struct {
 // their own context; a failed or cancelled capture is dropped so the
 // next lookup retries. Least-recently-used entries are evicted beyond
 // the capacity. The zero value is not usable; call NewCaptureLRU.
+//
+// The accounting counters are atomics, so Stats is lock-free: a
+// metrics endpoint polling it continuously never contends with
+// lookups or in-flight captures.
 type CaptureLRU struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
-	stats   CaptureCacheStats
+
+	hits, misses, evictions, errors atomic.Int64
+	entryCount                      atomic.Int64 // mirrors len(entries)
 }
 
 type captureEntry struct {
@@ -66,7 +73,7 @@ func (c *CaptureLRU) Get(ctx context.Context, key string, fn func() (*Capture, e
 		if el, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(el)
 			e := el.Value.(*captureEntry)
-			c.stats.Hits++
+			c.hits.Add(1)
 			c.mu.Unlock()
 			select {
 			case <-e.ready:
@@ -82,22 +89,24 @@ func (c *CaptureLRU) Get(ctx context.Context, key string, fn func() (*Capture, e
 		}
 		e := &captureEntry{key: key, ready: make(chan struct{})}
 		c.entries[key] = c.lru.PushFront(e)
-		c.stats.Misses++
+		c.misses.Add(1)
 		for c.lru.Len() > c.max {
 			c.evictOldest()
 		}
+		c.entryCount.Store(int64(len(c.entries)))
 		c.mu.Unlock()
 
 		e.cap, e.err = fn()
 
 		c.mu.Lock()
 		if e.err != nil {
-			c.stats.Errors++
+			c.errors.Add(1)
 			// Drop the failed entry only if it is still ours (an
 			// eviction racing with the capture may have removed it).
 			if el, ok := c.entries[key]; ok && el.Value.(*captureEntry) == e {
 				c.lru.Remove(el)
 				delete(c.entries, key)
+				c.entryCount.Store(int64(len(c.entries)))
 			}
 		}
 		c.mu.Unlock()
@@ -116,7 +125,7 @@ func (c *CaptureLRU) evictOldest() {
 	}
 	c.lru.Remove(el)
 	delete(c.entries, el.Value.(*captureEntry).key)
-	c.stats.Evictions++
+	c.evictions.Add(1)
 }
 
 // Purge empties the cache and returns how many entries were dropped.
@@ -126,15 +135,22 @@ func (c *CaptureLRU) Purge() int {
 	n := len(c.entries)
 	c.entries = make(map[string]*list.Element)
 	c.lru.Init()
-	c.stats.Evictions += int64(n)
+	c.entryCount.Store(0)
+	c.evictions.Add(int64(n))
 	return n
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. It is lock-free —
+// each counter is read atomically — so it is safe (and cheap) to poll
+// from a metrics endpoint while captures are in flight. Counters are
+// loaded individually, so a snapshot taken mid-update may be
+// transiently skewed by one in-flight operation.
 func (c *CaptureLRU) Stats() CaptureCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	return s
+	return CaptureCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Errors:    c.errors.Load(),
+		Entries:   int(c.entryCount.Load()),
+	}
 }

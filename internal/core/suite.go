@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"maya/internal/estimator"
 	"maya/internal/hardware"
@@ -34,13 +35,19 @@ type CacheStats struct {
 // hit/miss/trained counters, eviction, pre-warming — instead of the
 // former unobservable process-global map. The zero value is not
 // usable; call NewSuiteCache.
+//
+// The accounting counters are atomics, so Stats is lock-free: a
+// metrics endpoint polling it continuously never contends with
+// lookups or in-flight trainings.
 type SuiteCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	stats   CacheStats
 	// trainWorkers bounds the worker pool of trainings this cache
 	// initiates (0 means the estimator default, GOMAXPROCS).
 	trainWorkers int
+
+	hits, misses, trained, evictions, errors atomic.Int64
+	entryCount                               atomic.Int64 // mirrors len(entries)
 }
 
 // SetTrainWorkers bounds the worker pool used when this cache trains
@@ -109,7 +116,7 @@ func (c *SuiteCache) SuiteFor(ctx context.Context, cluster hardware.Cluster, ora
 
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
-			c.stats.Hits++
+			c.hits.Add(1)
 			c.mu.Unlock()
 			select {
 			case <-e.ready:
@@ -126,7 +133,8 @@ func (c *SuiteCache) SuiteFor(ctx context.Context, cluster hardware.Cluster, ora
 		}
 		e := &cacheEntry{ready: make(chan struct{})}
 		c.entries[key] = e
-		c.stats.Misses++
+		c.entryCount.Store(int64(len(c.entries)))
+		c.misses.Add(1)
 		workers := c.trainWorkers
 		c.mu.Unlock()
 
@@ -134,14 +142,15 @@ func (c *SuiteCache) SuiteFor(ctx context.Context, cluster hardware.Cluster, ora
 
 		c.mu.Lock()
 		if e.err != nil {
-			c.stats.Errors++
+			c.errors.Add(1)
 			// Drop the failed entry only if it is still ours (an Evict
 			// racing with training may already have replaced it).
 			if c.entries[key] == e {
 				delete(c.entries, key)
+				c.entryCount.Store(int64(len(c.entries)))
 			}
 		} else {
-			c.stats.Trained++
+			c.trained.Add(1)
 		}
 		c.mu.Unlock()
 		close(e.ready)
@@ -174,7 +183,8 @@ func (c *SuiteCache) Evict(cluster hardware.Cluster, kind estimator.ProfileKind)
 		return false
 	}
 	delete(c.entries, key)
-	c.stats.Evictions++
+	c.entryCount.Store(int64(len(c.entries)))
+	c.evictions.Add(1)
 	return true
 }
 
@@ -184,17 +194,25 @@ func (c *SuiteCache) Purge() int {
 	defer c.mu.Unlock()
 	n := len(c.entries)
 	c.entries = make(map[string]*cacheEntry)
-	c.stats.Evictions += int64(n)
+	c.entryCount.Store(0)
+	c.evictions.Add(int64(n))
 	return n
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. It is lock-free —
+// each counter is read atomically — so it is safe (and cheap) to poll
+// from a metrics endpoint while lookups and trainings are in flight.
+// Counters are loaded individually, so a snapshot taken mid-update
+// may be transiently skewed by one in-flight operation.
 func (c *SuiteCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	return s
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Trained:   c.trained.Load(),
+		Evictions: c.evictions.Load(),
+		Errors:    c.errors.Load(),
+		Entries:   int(c.entryCount.Load()),
+	}
 }
 
 func trainSuite(ctx context.Context, cluster hardware.Cluster, oracle *silicon.Oracle, kind estimator.ProfileKind, workers int) (*estimator.Suite, map[string]float64, error) {

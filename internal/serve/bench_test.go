@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maya"
+)
+
+// BenchmarkServeSaturation drives the full HTTP stack — admission,
+// coalescing, worker pool, predictor — with 2x-workers closed-loop
+// clients and reports predictions/sec plus tail latency per worker
+// count. Every request carries a distinct flops value, so requests
+// never coalesce (flops is part of the prediction identity) yet all
+// share one cached capture (flops is not part of the capture
+// identity): the sweep isolates how simulation throughput scales
+// with the pool.
+func BenchmarkServeSaturation(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, err := New(Config{
+				Cluster: maya.DGXV100(1), Profile: maya.ProfileLLM,
+				Workers: workers, Queue: 64 * workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			post := func(flops float64) (int, error) {
+				spec := smallSpec()
+				spec.FLOPs = flops
+				body, _ := json.Marshal(spec)
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return 0, err
+				}
+				resp.Body.Close()
+				return resp.StatusCode, nil
+			}
+			// Warm the capture cache so the sweep measures simulate
+			// throughput, not one-off emulation cost.
+			if code, err := post(1); err != nil || code != http.StatusOK {
+				b.Fatalf("warmup: status %d, err %v", code, err)
+			}
+
+			clients := 2 * workers
+			var next atomic.Int64
+			latencies := make([][]time.Duration, clients)
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						t0 := time.Now()
+						code, err := post(float64(1e12 + i))
+						if err != nil || code != http.StatusOK {
+							b.Errorf("request %d: status %d, err %v", i, code, err)
+							return
+						}
+						latencies[c] = append(latencies[c], time.Since(t0))
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			var all []time.Duration
+			for _, ls := range latencies {
+				all = append(all, ls...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			q := func(p float64) float64 {
+				if len(all) == 0 {
+					return 0
+				}
+				i := int(p * float64(len(all)-1))
+				return float64(all[i]) / float64(time.Millisecond)
+			}
+			b.ReportMetric(float64(len(all))/elapsed.Seconds(), "pred/s")
+			b.ReportMetric(q(0.50), "p50_ms")
+			b.ReportMetric(q(0.99), "p99_ms")
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers, jobs = 3, 20
+	p := NewPool(workers)
+
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Run(context.Background(), func() {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				<-gate
+				cur.Add(-1)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Let the pool fill, then release everyone.
+	for p.Busy() < workers {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := peak.Load(); got != workers {
+		t.Errorf("peak concurrency = %d, want %d", got, workers)
+	}
+	if got := p.Completed(); got != jobs {
+		t.Errorf("completed = %d, want %d", got, jobs)
+	}
+	if p.Busy() != 0 || p.Waiting() != 0 {
+		t.Errorf("pool not quiescent: busy=%d waiting=%d", p.Busy(), p.Waiting())
+	}
+}
+
+func TestPoolRunHonorsContextWhileQueued(t *testing.T) {
+	p := NewPool(1)
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go p.Run(context.Background(), func() { close(started); <-hold })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Run(ctx, func() { t.Error("queued job ran after cancellation") })
+	}()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Run: err = %v, want context.Canceled", err)
+	}
+	close(hold)
+}

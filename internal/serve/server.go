@@ -1,0 +1,696 @@
+// Package serve is Maya's multi-tenant prediction service layer: an
+// HTTP/JSON front over one shared maya.Predictor, built for heavy
+// interactive what-if traffic. A request flows admission → coalesce →
+// pool → predict:
+//
+//   - Admission: a per-tenant token bucket (X-Maya-Tenant) in front of
+//     a bounded service-wide queue — fairness first, then load-shedding
+//     instead of unbounded queueing.
+//   - Coalescing: concurrent identical predictions single-flight into
+//     one execution, on top of the predictor's fingerprinted capture
+//     cache — N identical in-flight requests pay one capture and one
+//     simulate.
+//   - Pool: a bounded worker count executes predictions, keeping the
+//     process-wide simulation-engine pool hot.
+//   - Predict: the ordinary maya.Predictor pipeline, with the request
+//     deadline mapped onto the context cancellation every layer
+//     already observes.
+//
+// Endpoints: POST /v1/predict (single or batch), POST /v1/capture,
+// GET /v1/traces/{fingerprint}, POST /v1/traces, GET /metrics
+// (Prometheus text), GET /healthz (build info, cache stats).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maya"
+	"maya/internal/buildinfo"
+)
+
+// Config shapes a Server. The zero value of every optional field
+// selects a sensible default; Cluster is required.
+type Config struct {
+	// Cluster is the hardware every prediction targets.
+	Cluster maya.Cluster
+	// Profile selects the estimator profile (default ProfileLLM).
+	Profile maya.ProfileKind
+	// Workers bounds concurrent predictions (default GOMAXPROCS).
+	Workers int
+	// Queue bounds admitted-but-unfinished requests (default
+	// 4*Workers).
+	Queue int
+	// TenantRate and TenantBurst shape the per-tenant token bucket:
+	// sustained predictions/sec and burst allowance. TenantRate <= 0
+	// disables tenant throttling.
+	TenantRate  float64
+	TenantBurst int
+	// CaptureCacheSize bounds the fingerprinted capture LRU shared by
+	// all requests (default 256).
+	CaptureCacheSize int
+	// TraceStoreSize bounds the /v1/traces store (default 128).
+	TraceStoreSize int
+	// DefaultDeadline applies to requests without deadline_ms;
+	// MaxDeadline clamps what requests may ask for. Defaults: 30s, 2m.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Preload lists extra estimator suites to warm at boot, as
+	// "CLUSTERSPEC" or "CLUSTERSPEC/PROFILE" entries (e.g. "8xV100",
+	// "32xH100/llm"). The serving cluster's own suite is always
+	// warmed.
+	Preload []string
+}
+
+// Server is the service instance: one predictor, its caches, and the
+// admission/coalescing/pool machinery. Create with New, expose with
+// Handler, warm with Warm, retire with Drain.
+type Server struct {
+	cfg     Config
+	pred    *maya.Predictor
+	adm     *Admission
+	pool    *Pool
+	co      *coalescer
+	metrics *Metrics
+	store   *traceStore
+	mux     *http.ServeMux
+	build   buildinfo.Info
+	started time.Time
+
+	draining atomic.Bool
+
+	// testGate, when set (tests only), is called by each coalescing
+	// leader on its pool slot before predicting — a hold point that
+	// lets tests pile provably-concurrent identical requests onto one
+	// leader.
+	testGate func()
+}
+
+// New builds a Server for the cluster. It trains nothing: call Warm
+// to pay estimator training at boot instead of on the first learned
+// request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = 32
+	}
+	if cfg.CaptureCacheSize <= 0 {
+		cfg.CaptureCacheSize = 256
+	}
+	if cfg.TraceStoreSize <= 0 {
+		cfg.TraceStoreSize = 128
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 30 * time.Second
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 2 * time.Minute
+	}
+	pred, err := maya.NewPredictor(cfg.Cluster, cfg.Profile,
+		maya.WithEstimatorCache(maya.NewEstimatorCache()),
+		maya.WithCaptureCache(maya.NewCaptureCache(cfg.CaptureCacheSize)))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		pred:    pred,
+		adm:     NewAdmission(cfg.Queue, cfg.TenantRate, cfg.TenantBurst),
+		pool:    NewPool(cfg.Workers),
+		co:      newCoalescer(),
+		metrics: &Metrics{},
+		store:   newTraceStore(cfg.TraceStoreSize),
+		mux:     http.NewServeMux(),
+		build:   buildinfo.Get(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/capture", s.handleCapture)
+	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleTraceGet)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Predictor exposes the shared predictor (tests, embedders).
+func (s *Server) Predictor() *maya.Predictor { return s.pred }
+
+// Metrics exposes the serving counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Warm trains the serving cluster's estimator suite plus every
+// Preload entry, so learned predictions pay no training latency.
+func (s *Server) Warm(ctx context.Context) error {
+	if err := s.pred.Warm(ctx); err != nil {
+		return fmt.Errorf("serve: warming %s: %w", s.cfg.Cluster.Name, err)
+	}
+	for _, entry := range s.cfg.Preload {
+		spec, profName, _ := strings.Cut(strings.TrimSpace(entry), "/")
+		cluster, err := maya.ClusterByName(spec)
+		if err != nil {
+			return fmt.Errorf("serve: preload %q: %w", entry, err)
+		}
+		kind := s.cfg.Profile
+		if profName != "" {
+			if kind, err = ParseProfile(profName); err != nil {
+				return fmt.Errorf("serve: preload %q: %w", entry, err)
+			}
+		}
+		if err := s.pred.EstimatorCache().Warm(ctx, cluster, kind); err != nil {
+			return fmt.Errorf("serve: preload %q: %w", entry, err)
+		}
+	}
+	return nil
+}
+
+// Drain flips the server into drain mode: new requests are refused
+// with 503 (and /healthz reports draining, so balancers stop routing)
+// while in-flight requests run to completion. Pair it with
+// http.Server.Shutdown, which waits for those in-flight handlers.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ParseProfile parses an estimator profile name.
+func ParseProfile(name string) (maya.ProfileKind, error) {
+	switch strings.ToLower(name) {
+	case "llm":
+		return maya.ProfileLLM, nil
+	case "vision":
+		return maya.ProfileVision, nil
+	case "all":
+		return maya.ProfileAll, nil
+	}
+	return 0, fmt.Errorf("unknown profile %q (have llm, vision, all)", name)
+}
+
+// profileName is ParseProfile's inverse, for /healthz.
+func profileName(k maya.ProfileKind) string {
+	switch k {
+	case maya.ProfileLLM:
+		return "llm"
+	case maya.ProfileVision:
+		return "vision"
+	default:
+		return "all"
+	}
+}
+
+// tenantOf extracts the request's tenant identity. Untagged requests
+// pool into the "default" tenant: they share one bucket rather than
+// bypassing fairness.
+func tenantOf(r *http.Request) string {
+	if t := strings.TrimSpace(r.Header.Get("X-Maya-Tenant")); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// errorBody is the JSON error envelope of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps a prediction error to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// countStatus folds a response status into the outcome counters.
+func (s *Server) countStatus(status int) {
+	switch status {
+	case http.StatusOK:
+		s.metrics.OK.Add(1)
+	case http.StatusBadRequest:
+		s.metrics.BadInput.Add(1)
+	case http.StatusTooManyRequests:
+		s.metrics.Throttled.Add(1)
+	case http.StatusServiceUnavailable:
+		s.metrics.Rejected.Add(1)
+	case http.StatusGatewayTimeout:
+		s.metrics.Deadline.Add(1)
+	default:
+		s.metrics.Failed.Add(1)
+	}
+}
+
+// PredictResult is one prediction's wire answer: the report on
+// success, an error otherwise, plus serving metadata (whether this
+// request shared a coalesced execution, and how long the executing
+// leader waited for a worker).
+type PredictResult struct {
+	Report      *maya.Report `json:"report,omitempty"`
+	Error       string       `json:"error,omitempty"`
+	Coalesced   bool         `json:"coalesced,omitempty"`
+	QueueWaitMS float64      `json:"queue_wait_ms"`
+
+	status int // internal: HTTP status this result maps to
+}
+
+// batchEnvelope is the wire form of a batch predict call.
+type batchEnvelope struct {
+	Requests []PredictSpec `json:"requests"`
+}
+
+// batchResponse answers a batch predict call positionally.
+type batchResponse struct {
+	Results []PredictResult `json:"results"`
+}
+
+// parsePredictBody accepts either one PredictSpec object or a
+// {"requests": [...]} batch, returning the specs and whether the call
+// was a batch.
+func parsePredictBody(body []byte) ([]PredictSpec, bool, error) {
+	var env batchEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Requests != nil {
+		if len(env.Requests) == 0 {
+			return nil, true, errors.New("empty requests array")
+		}
+		return env.Requests, true, nil
+	}
+	var one PredictSpec
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, false, fmt.Errorf("malformed request body: %v", err)
+	}
+	return []PredictSpec{one}, false, nil
+}
+
+// requestCtx derives the request's deadline context: the largest
+// deadline any spec asked for, defaulted and clamped by server
+// config, layered over the connection context so client disconnects
+// still cancel the pipeline.
+func (s *Server) requestCtx(r *http.Request, specs []PredictSpec) (context.Context, context.CancelFunc) {
+	var ms int64
+	for i := range specs {
+		if specs[i].DeadlineMS > ms {
+			ms = specs[i].DeadlineMS
+		}
+	}
+	d := s.cfg.DefaultDeadline
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// predictOutcome is what a coalescing flight produces.
+type predictOutcome struct {
+	report      *maya.Report
+	queueWaitMS float64
+}
+
+// handlePredict serves POST /v1/predict: admission, then each spec
+// through coalesce → pool → predict. Batch items are isolated — one
+// failing spec reports its own error, its neighbors still answer.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	if s.draining.Load() {
+		s.countStatus(http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.countStatus(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	specs, batch, err := parsePredictBody(body)
+	if err != nil {
+		s.countStatus(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	release, err := s.adm.Admit(tenantOf(r), len(specs))
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, ErrThrottled) {
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		}
+		s.countStatus(status)
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.Latency.observe(float64(time.Since(start).Nanoseconds()) / 1e6) }()
+
+	ctx, cancel := s.requestCtx(r, specs)
+	defer cancel()
+
+	results := make([]PredictResult, len(specs))
+	if len(specs) == 1 {
+		results[0] = s.predictOne(ctx, &specs[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range specs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i] = s.predictOne(ctx, &specs[i])
+			}()
+		}
+		wg.Wait()
+	}
+
+	if batch {
+		// Batch responses are positional and always 200; per-item
+		// status lives in each result.
+		for i := range results {
+			s.countStatus(results[i].status)
+		}
+		writeJSON(w, http.StatusOK, batchResponse{Results: results})
+		return
+	}
+	res := results[0]
+	s.countStatus(res.status)
+	writeJSON(w, res.status, res)
+}
+
+// predictOne runs one spec through coalesce → pool → predict.
+func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) PredictResult {
+	s.metrics.Predictions.Add(1)
+	w, opts, err := spec.build(s.cfg.Cluster)
+	if err != nil {
+		return PredictResult{Error: err.Error(), status: http.StatusBadRequest}
+	}
+	key := spec.predictKey(s.cfg.Cluster, w)
+	out, shared, err := s.co.do(ctx, key, func() (*predictOutcome, error) {
+		o := &predictOutcome{}
+		var perr error
+		queued := time.Now()
+		runErr := s.pool.Run(ctx, func() {
+			o.queueWaitMS = float64(time.Since(queued).Nanoseconds()) / 1e6
+			s.metrics.QueueWait.observe(o.queueWaitMS)
+			if s.testGate != nil {
+				s.testGate()
+			}
+			s.metrics.Executed.Add(1)
+			o.report, perr = s.pred.Predict(ctx, w, opts...)
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		return o, perr
+	})
+	if shared {
+		s.metrics.Coalesced.Add(1)
+	}
+	if err != nil {
+		return PredictResult{Error: err.Error(), Coalesced: shared, status: statusFor(err)}
+	}
+	return PredictResult{
+		Report:      out.report,
+		Coalesced:   shared,
+		QueueWaitMS: out.queueWaitMS,
+		status:      http.StatusOK,
+	}
+}
+
+// handleCapture serves POST /v1/capture: run (or reuse) the capture
+// for a spec, archive its serialized form in the trace store, and
+// answer with the fingerprint handle GET /v1/traces accepts.
+func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	if s.draining.Load() {
+		s.countStatus(http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.countStatus(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var spec PredictSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		s.countStatus(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	release, err := s.adm.Admit(tenantOf(r), 1)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, ErrThrottled) {
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		}
+		s.countStatus(status)
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.Latency.observe(float64(time.Since(start).Nanoseconds()) / 1e6) }()
+
+	ctx, cancel := s.requestCtx(r, []PredictSpec{spec})
+	defer cancel()
+
+	wl, _, err := spec.build(s.cfg.Cluster)
+	if err != nil {
+		s.countStatus(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var tr *maya.Trace
+	var capErr error
+	var capOpts []maya.PredictOption
+	if spec.Seed != 0 {
+		capOpts = append(capOpts, maya.WithSeed(spec.Seed))
+	}
+	if runErr := s.pool.Run(ctx, func() {
+		tr, capErr = s.pred.Capture(ctx, wl, capOpts...)
+	}); runErr != nil {
+		capErr = runErr
+	}
+	if capErr != nil {
+		status := statusFor(capErr)
+		s.countStatus(status)
+		writeError(w, status, "%v", capErr)
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		s.countStatus(http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "serializing trace: %v", err)
+		return
+	}
+	meta := TraceMeta{
+		Fingerprint:   fingerprintOf([]byte(spec.captureKey(s.cfg.Cluster, wl))),
+		Workload:      tr.Workload(),
+		Cluster:       tr.Cluster(),
+		TotalWorkers:  tr.TotalWorkers(),
+		UniqueWorkers: tr.UniqueWorkers(),
+		PeakMemBytes:  tr.PeakMemBytes(),
+		OOM:           tr.OOM(),
+		SizeBytes:     buf.Len(),
+	}
+	s.store.put(buf.Bytes(), meta)
+	s.metrics.Captures.Add(1)
+	s.countStatus(http.StatusOK)
+	writeJSON(w, http.StatusOK, meta)
+}
+
+// handleTraceGet serves GET /v1/traces/{fingerprint}: the serialized
+// trace, loadable anywhere with maya.ReadTrace (or `maya simulate
+// -trace`).
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	fp := r.PathValue("fingerprint")
+	st, ok := s.store.get(fp)
+	if !ok {
+		s.countStatus(http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "no trace with fingerprint %q", fp)
+		return
+	}
+	s.metrics.TraceServes.Add(1)
+	s.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Maya-Workload", st.meta.Workload)
+	w.Header().Set("X-Maya-Cluster", st.meta.Cluster)
+	w.Write(st.raw)
+}
+
+// handleTraceUpload serves POST /v1/traces: accept a serialized trace
+// (validated end to end — magic, version, checksum, payload) and
+// archive it under a content fingerprint.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		s.countStatus(http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	tr, err := maya.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		s.countStatus(http.StatusBadRequest)
+		switch {
+		case errors.Is(err, maya.ErrTraceVersion):
+			writeError(w, http.StatusBadRequest, "unsupported trace version: %v", err)
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			writeError(w, http.StatusBadRequest, "truncated trace: %v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "invalid trace: %v", err)
+		}
+		return
+	}
+	meta := TraceMeta{
+		Fingerprint:   fingerprintOf(raw),
+		Workload:      tr.Workload(),
+		Cluster:       tr.Cluster(),
+		TotalWorkers:  tr.TotalWorkers(),
+		UniqueWorkers: tr.UniqueWorkers(),
+		PeakMemBytes:  tr.PeakMemBytes(),
+		OOM:           tr.OOM(),
+		SizeBytes:     len(raw),
+	}
+	s.store.put(raw, meta)
+	s.metrics.TraceUploads.Add(1)
+	s.countStatus(http.StatusOK)
+	writeJSON(w, http.StatusOK, meta)
+}
+
+// healthzBody is the /healthz JSON shape.
+type healthzBody struct {
+	Status         string                 `json:"status"` // "ok" or "draining"
+	Build          buildinfo.Info         `json:"build"`
+	Cluster        string                 `json:"cluster"`
+	Profile        string                 `json:"profile"`
+	Workers        int                    `json:"workers"`
+	UptimeS        float64                `json:"uptime_s"`
+	EstimatorCache maya.CacheStats        `json:"estimator_cache"`
+	CaptureCache   maya.CaptureCacheStats `json:"capture_cache"`
+	TracesStored   int                    `json:"traces_stored"`
+}
+
+// handleHealthz serves GET /healthz. A draining server answers 503 so
+// load balancers stop routing to it while in-flight work completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthzBody{
+		Status:         status,
+		Build:          s.build,
+		Cluster:        s.cfg.Cluster.Name,
+		Profile:        profileName(s.cfg.Profile),
+		Workers:        s.pool.Workers(),
+		UptimeS:        time.Since(s.started).Seconds(),
+		EstimatorCache: s.pred.EstimatorCache().Stats(),
+		CaptureCache:   s.pred.CaptureCache().Stats(),
+		TracesStored:   s.store.len(),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format: serving counters, latency histograms, pool and admission
+// gauges, and the estimator/capture cache stats (whose snapshots are
+// lock-free, so continuous polling never contends with requests).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	var b bytes.Buffer
+	counter := func(name string, v int64) { fmt.Fprintf(&b, "%s %d\n", name, v) }
+
+	counter("maya_serve_requests_total", m.Requests.Load())
+	counter("maya_serve_requests_ok_total", m.OK.Load())
+	counter("maya_serve_requests_bad_input_total", m.BadInput.Load())
+	counter("maya_serve_throttled_total", m.Throttled.Load())
+	counter("maya_serve_rejected_total", m.Rejected.Load())
+	counter("maya_serve_deadline_total", m.Deadline.Load())
+	counter("maya_serve_failed_total", m.Failed.Load())
+	counter("maya_serve_predictions_total", m.Predictions.Load())
+	counter("maya_serve_predictions_executed_total", m.Executed.Load())
+	counter("maya_serve_predictions_coalesced_total", m.Coalesced.Load())
+	counter("maya_serve_captures_total", m.Captures.Load())
+	counter("maya_serve_trace_uploads_total", m.TraceUploads.Load())
+	counter("maya_serve_trace_serves_total", m.TraceServes.Load())
+	counter("maya_serve_inflight", m.InFlight.Load())
+	counter("maya_serve_pool_workers", int64(s.pool.Workers()))
+	counter("maya_serve_pool_busy", int64(s.pool.Busy()))
+	counter("maya_serve_pool_waiting", int64(s.pool.Waiting()))
+	counter("maya_serve_pool_completed_total", s.pool.Completed())
+	counter("maya_serve_admission_depth", int64(s.adm.Depth()))
+	counter("maya_serve_admission_capacity", int64(s.adm.Capacity()))
+	counter("maya_serve_traces_stored", int64(s.store.len()))
+	fmt.Fprintf(&b, "maya_serve_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	draining := int64(0)
+	if s.draining.Load() {
+		draining = 1
+	}
+	counter("maya_serve_draining", draining)
+
+	es := s.pred.EstimatorCache().Stats()
+	counter("maya_estimator_cache_hits_total", es.Hits)
+	counter("maya_estimator_cache_misses_total", es.Misses)
+	counter("maya_estimator_cache_trained_total", es.Trained)
+	counter("maya_estimator_cache_evictions_total", es.Evictions)
+	counter("maya_estimator_cache_errors_total", es.Errors)
+	counter("maya_estimator_cache_entries", int64(es.Entries))
+
+	cs := s.pred.CaptureCache().Stats()
+	counter("maya_capture_cache_hits_total", cs.Hits)
+	counter("maya_capture_cache_misses_total", cs.Misses)
+	counter("maya_capture_cache_evictions_total", cs.Evictions)
+	counter("maya_capture_cache_errors_total", cs.Errors)
+	counter("maya_capture_cache_entries", int64(cs.Entries))
+
+	m.Latency.writeProm(&b, "maya_serve_latency_seconds")
+	m.QueueWait.writeProm(&b, "maya_serve_queue_wait_seconds")
+
+	fmt.Fprintf(&b, "maya_build_info{version=%q,revision=%q} 1\n",
+		s.build.Version, s.build.Revision)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write(b.Bytes())
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"strconv"
+	"sync"
+)
+
+// TraceMeta describes one stored trace, the JSON shape /v1/capture
+// and /v1/traces answer with.
+type TraceMeta struct {
+	// Fingerprint is the opaque handle GET /v1/traces/{fingerprint}
+	// accepts.
+	Fingerprint string `json:"fingerprint"`
+	// Workload and Cluster identify what was captured where.
+	Workload string `json:"workload"`
+	Cluster  string `json:"cluster"`
+	// TotalWorkers / UniqueWorkers are the world size and the ranks
+	// actually emulated after dedup.
+	TotalWorkers  int `json:"total_workers"`
+	UniqueWorkers int `json:"unique_workers"`
+	// PeakMemBytes / OOM carry the memory verdict.
+	PeakMemBytes int64 `json:"peak_mem_bytes"`
+	OOM          bool  `json:"oom,omitempty"`
+	// SizeBytes is the serialized trace size.
+	SizeBytes int `json:"size_bytes"`
+}
+
+// traceStore is a bounded LRU of serialized traces keyed by
+// fingerprint: captures made through /v1/capture and uploads accepted
+// by POST /v1/traces, served back by GET /v1/traces/{fingerprint}.
+// Entries hold the serialized bytes (immutable), so serving a trace
+// is one map lookup and one write.
+type traceStore struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type storedTrace struct {
+	raw  []byte
+	meta TraceMeta
+}
+
+// newTraceStore returns an empty store bounded to maxEntries
+// (minimum 1).
+func newTraceStore(maxEntries int) *traceStore {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &traceStore{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// put stores a serialized trace under its fingerprint, evicting the
+// least-recently-used entries beyond capacity. Re-putting an existing
+// fingerprint refreshes it.
+func (s *traceStore) put(raw []byte, meta TraceMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[meta.Fingerprint]; ok {
+		el.Value = &storedTrace{raw: raw, meta: meta}
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[meta.Fingerprint] = s.lru.PushFront(&storedTrace{raw: raw, meta: meta})
+	for s.lru.Len() > s.max {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.entries, back.Value.(*storedTrace).meta.Fingerprint)
+	}
+}
+
+// get returns the stored trace for a fingerprint, refreshing its
+// recency.
+func (s *traceStore) get(fp string) (*storedTrace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*storedTrace), true
+}
+
+// len reports how many traces are stored.
+func (s *traceStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// fingerprintOf derives the opaque store handle from any canonical
+// identity string (a capture key, or raw uploaded bytes).
+func fingerprintOf(identity []byte) string {
+	h := fnv.New64a()
+	h.Write(identity)
+	return strconv.FormatUint(h.Sum64(), 16)
+}

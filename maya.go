@@ -297,6 +297,31 @@ func (p *Predictor) WithNetworkSimulator() *Predictor {
 // Cluster returns the predictor's target cluster.
 func (p *Predictor) Cluster() Cluster { return p.cluster }
 
+// ProfileKind returns the kernel-family profile the predictor's
+// estimators are trained on.
+func (p *Predictor) ProfileKind() ProfileKind { return p.kind }
+
+// EstimatorCache returns the cache this predictor resolves its
+// estimator suite from — the injected one, or the process-wide
+// default. Services front a predictor with it: poll Stats from a
+// metrics endpoint, Warm at boot, Evict after hardware swaps.
+func (p *Predictor) EstimatorCache() *EstimatorCache { return p.cache }
+
+// CaptureCache returns the capture cache injected with
+// WithCaptureCache, or nil when the predictor captures per call.
+func (p *Predictor) CaptureCache() *CaptureCache { return p.captures }
+
+// Warm trains (or confirms) this predictor's own estimator suite —
+// its cluster and profile kind, in its estimator cache — so the first
+// prediction pays no training latency. It is the per-predictor
+// convenience over EstimatorCache.Warm; long-running services call it
+// at boot. Cancelling ctx aborts the training, which is then not
+// cached.
+func (p *Predictor) Warm(ctx context.Context) error {
+	_, _, err := p.cache.impl.SuiteFor(ctx, p.cluster, p.oracle, p.kind)
+	return err
+}
+
 // predictSettings are the per-call knobs of Predict, MeasureActual,
 // Capture, Simulate and batch requests.
 type predictSettings struct {

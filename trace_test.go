@@ -254,3 +254,108 @@ func TestPredictBatchSharesCaptures(t *testing.T) {
 		t.Errorf("%d batch reports carry capture cost, want exactly 1", paid)
 	}
 }
+
+// TestReadTraceCorruption hardens the deserializer against damaged
+// artifacts: every truncation length and single-bit flip tried must
+// surface a typed error — never a panic, never a silently-wrong
+// trace. This is the contract the serve layer's upload endpoint
+// relies on to 400 bad payloads. Offsets are sampled (the header and
+// checksum exhaustively, the payload on a stride) because each probe
+// re-checksums the whole blob and exhaustive coverage is quadratic.
+func TestReadTraceCorruption(t *testing.T) {
+	ctx := context.Background()
+	pred, w := tracePredictor(t)
+	tr, err := pred.Capture(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	isTyped := func(err error) bool {
+		return errors.Is(err, maya.ErrTraceFormat) ||
+			errors.Is(err, maya.ErrTraceVersion) ||
+			errors.Is(err, io.ErrUnexpectedEOF)
+	}
+	// All 16 header bytes (magic + version + length), the trailing
+	// checksum, and stride-sampled payload offsets.
+	const headerLen, sumLen = 16, 8
+	offsets := make(map[int]bool)
+	for off := 0; off < headerLen && off < len(raw); off++ {
+		offsets[off] = true
+	}
+	for off := len(raw) - sumLen; off < len(raw); off++ {
+		offsets[off] = true
+	}
+	stride := (len(raw) - headerLen - sumLen) / 128
+	if stride < 1 {
+		stride = 1
+	}
+	for off := headerLen; off < len(raw)-sumLen; off += stride {
+		offsets[off] = true
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for n := range offsets {
+			_, err := maya.ReadTrace(bytes.NewReader(raw[:n]))
+			if err == nil {
+				t.Fatalf("truncation to %d/%d bytes read successfully", n, len(raw))
+			}
+			if !isTyped(err) {
+				t.Fatalf("truncation to %d bytes: untyped error %v", n, err)
+			}
+		}
+		if _, err := maya.ReadTrace(bytes.NewReader(nil)); !isTyped(err) {
+			t.Fatalf("empty input: err = %v, want typed error", err)
+		}
+	})
+
+	t.Run("bit-flipped", func(t *testing.T) {
+		// Header flips exercise the magic, version, and length paths;
+		// payload and checksum flips must disagree with each other. A
+		// single-bit flip cannot cancel out against FNV-1a.
+		for off := range offsets {
+			for bit := 0; bit < 8; bit++ {
+				patched := append([]byte(nil), raw...)
+				patched[off] ^= 1 << bit
+				_, err := maya.ReadTrace(bytes.NewReader(patched))
+				if err == nil {
+					t.Fatalf("flip of byte %d bit %d went undetected", off, bit)
+				}
+				if !isTyped(err) {
+					t.Fatalf("flip of byte %d bit %d: untyped error %v", off, bit, err)
+				}
+			}
+		}
+	})
+
+	t.Run("error-classes", func(t *testing.T) {
+		// Magic damage is a format error.
+		patched := append([]byte(nil), raw...)
+		patched[0] = 'X'
+		if _, err := maya.ReadTrace(bytes.NewReader(patched)); !errors.Is(err, maya.ErrTraceFormat) {
+			t.Errorf("bad magic: err = %v, want ErrTraceFormat", err)
+		}
+		// Version damage is a version error, distinguishable from rot.
+		patched = append([]byte(nil), raw...)
+		patched[7]++
+		if _, err := maya.ReadTrace(bytes.NewReader(patched)); !errors.Is(err, maya.ErrTraceVersion) {
+			t.Errorf("future version: err = %v, want ErrTraceVersion", err)
+		}
+		// Checksum damage is a format error (payload intact, sum not).
+		patched = append([]byte(nil), raw...)
+		patched[len(patched)-1] ^= 0xFF
+		if _, err := maya.ReadTrace(bytes.NewReader(patched)); !errors.Is(err, maya.ErrTraceFormat) {
+			t.Errorf("bad checksum: err = %v, want ErrTraceFormat", err)
+		}
+		// Payload damage trips the checksum before JSON ever runs.
+		patched = append([]byte(nil), raw...)
+		patched[20] ^= 0x01
+		if _, err := maya.ReadTrace(bytes.NewReader(patched)); !errors.Is(err, maya.ErrTraceFormat) {
+			t.Errorf("payload rot: err = %v, want ErrTraceFormat", err)
+		}
+	})
+}
