@@ -96,6 +96,7 @@ func BenchmarkTable9KernelMAPEA40(b *testing.B)    { runExperiment(b, "table9") 
 func BenchmarkFig16SearchAlgorithms(b *testing.B)  { runExperiment(b, "fig16") }
 func BenchmarkTable10PruningTactics(b *testing.B)  { runExperiment(b, "table10") }
 func BenchmarkFig17StallBreakdown(b *testing.B)    { runExperiment(b, "fig17") }
+func BenchmarkNetsimValidation(b *testing.B)       { runExperiment(b, "netsim") }
 
 // --- Engine micro-benchmarks ---
 

@@ -25,6 +25,7 @@ import (
 func main() {
 	var (
 		clusterSpec = flag.String("cluster", "32xH100", "cluster spec")
+		topology    = flag.String("topology", "", "network fabric spec: auto (default), flat, rail, oversub:K, pods:K")
 		modelName   = flag.String("model", "gpt3-18.4b", "model preset")
 		batch       = flag.Int("batch", 256, "global batch size")
 		algo        = flag.String("algo", "cma", "cma | oneplusone | pso | twopointsde | random | grid")
@@ -53,7 +54,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "maya-search: %s on %s, algorithm=%s budget=%d\n",
 		mdl.Name, cluster.Name, *algo, *budget)
 
-	var popts []maya.PredictorOption
+	popts := []maya.PredictorOption{maya.WithTopology(*topology)}
 	if *capCache > 0 {
 		popts = append(popts, maya.WithCaptureCache(maya.NewCaptureCache(*capCache)))
 	}

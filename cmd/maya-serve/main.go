@@ -44,6 +44,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		clusterSpec = flag.String("cluster", "32xH100", "cluster spec the service models (e.g. 8xV100, 64xH100)")
+		topology    = flag.String("topology", "", "network fabric spec: auto (default), flat, rail, oversub:K, pods:K")
+		congestion  = flag.Bool("congestion", false, "resolve collectives against link-level contention on every prediction")
 		profile     = flag.String("profile", "llm", "estimator profile: llm | vision | all")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "prediction worker pool size")
 		queue       = flag.Int("queue", 0, "admission queue capacity (default 4*workers)")
@@ -81,6 +83,8 @@ func main() {
 
 	srv, err := serve.New(serve.Config{
 		Cluster:          cluster,
+		Topology:         *topology,
+		Congestion:       *congestion,
 		Profile:          kind,
 		Workers:          *workers,
 		Queue:            *queue,

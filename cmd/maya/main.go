@@ -68,6 +68,7 @@ func main() {
 // and capture.
 type recipeFlags struct {
 	cluster   *string
+	topology  *string
 	model     *string
 	batch     *int
 	tp        *int
@@ -82,6 +83,7 @@ type recipeFlags struct {
 func addRecipeFlags(fs *flag.FlagSet) *recipeFlags {
 	return &recipeFlags{
 		cluster:   fs.String("cluster", "32xH100", "cluster spec (e.g. 8xV100, 64xH100, 8xA40)"),
+		topology:  addTopologyFlag(fs),
 		model:     fs.String("model", "gpt3-18.4b", "model preset (gpt3-1.3b/2.7b/18.4b/145.6b, llama2-7b, ...)"),
 		batch:     fs.Int("batch", 256, "global batch size (sequences)"),
 		tp:        fs.Int("tp", 1, "tensor-parallel degree"),
@@ -92,6 +94,12 @@ func addRecipeFlags(fs *flag.FlagSet) *recipeFlags {
 		recompute: fs.Bool("recompute", false, "activation recomputation"),
 		distopt:   fs.Bool("distopt", false, "distributed optimizer"),
 	}
+}
+
+// addTopologyFlag registers the network-fabric spec flag shared by
+// every verb that builds a predictor.
+func addTopologyFlag(fs *flag.FlagSet) *string {
+	return fs.String("topology", "", "network fabric spec: auto (default), flat, rail, oversub:K, pods:K")
 }
 
 // addTrainWorkersFlag registers the estimator-training parallelism
@@ -124,6 +132,7 @@ func runPredict(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("maya predict", flag.ExitOnError)
 	recipe := addRecipeFlags(fs)
 	actual := fs.Bool("actual", false, "also measure on the synthetic silicon (ground truth)")
+	congestion := fs.Bool("congestion", false, "resolve collectives against link-level contention (concurrent collectives sharing a fabric link split its bandwidth)")
 	timeline := fs.String("timeline", "", "write the simulated run as Chrome-trace JSON to this file (chrome://tracing, Perfetto)")
 	breakdown := fs.Bool("breakdown", false, "attribute per-worker stall time (event/collective waits, host-bound, pipeline bubbles)")
 	trainWorkers := addTrainWorkersFlag(fs)
@@ -133,7 +142,7 @@ func runPredict(ctx context.Context, args []string) {
 
 	cluster, w, flops := recipe.build()
 	fmt.Fprintf(os.Stderr, "maya: training estimators for %s (cached after first run)...\n", cluster.Name)
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithTopology(*recipe.topology))
 	fatalIf(err)
 
 	// One capture serves both the prediction and the ground-truth
@@ -148,6 +157,9 @@ func runPredict(ctx context.Context, args []string) {
 	}
 	if *breakdown {
 		opts = append(opts, maya.WithStallBreakdown())
+	}
+	if *congestion {
+		opts = append(opts, maya.WithCongestion())
 	}
 	rep, err := pred.Simulate(ctx, tr, opts...)
 	fatalIf(err)
@@ -214,7 +226,7 @@ func runCapture(ctx context.Context, args []string) {
 
 	cluster, w, _ := recipe.build()
 	// Capture never trains estimators: it is pure emulate + collate.
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithTopology(*recipe.topology))
 	fatalIf(err)
 	tr, err := pred.Capture(ctx, w)
 	fatalIf(err)
@@ -236,6 +248,8 @@ func runSimulate(ctx context.Context, args []string) {
 	tracePath := fs.String("trace", "", "trace file written by `maya capture` (required)")
 	oracle := fs.Bool("oracle", false, "annotate with ground-truth kernel times (Table 3 oracle rows)")
 	netsim := fs.Bool("netsim", false, "model collectives with the hierarchical network simulator")
+	topology := addTopologyFlag(fs)
+	congestion := fs.Bool("congestion", false, "resolve collectives against link-level contention (concurrent collectives sharing a fabric link split its bandwidth)")
 	actual := fs.Bool("actual", false, "physical replay with ground truth (MeasureActual equivalent)")
 	flops := fs.Float64("flops", 0, "per-iteration model FLOPs (enables MFU)")
 	timeline := fs.String("timeline", "", "write the simulated run as Chrome-trace JSON to this file (chrome://tracing, Perfetto)")
@@ -262,7 +276,11 @@ func runSimulate(ctx context.Context, args []string) {
 
 	cluster, err := maya.ClusterByName(tr.Cluster())
 	fatalIf(err)
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM)
+	if *topology == "" {
+		// Default to the fabric the trace was captured under.
+		*topology = tr.Topology()
+	}
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithTopology(*topology))
 	fatalIf(err)
 
 	opts := []maya.PredictOption{maya.WithModelFLOPs(*flops), maya.WithDType(maya.BF16)}
@@ -284,6 +302,9 @@ func runSimulate(ctx context.Context, args []string) {
 	}
 	if *breakdown {
 		opts = append(opts, maya.WithStallBreakdown())
+	}
+	if *congestion {
+		opts = append(opts, maya.WithCongestion())
 	}
 	rep, err := pred.Simulate(ctx, tr, opts...)
 	fatalIf(err)

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"maya/internal/estimator"
+	"maya/internal/netsim"
+	"maya/internal/sim"
 	"maya/internal/trace"
 )
 
@@ -33,6 +35,11 @@ type Capture struct {
 	// Workload and Cluster identify what was captured where.
 	Workload string
 	Cluster  string
+	// Topology records the topo.ByName fabric spec the prediction ran
+	// against ("" means the cluster's canonical auto topology).
+	// Provenance only: the trace itself is topology-independent, so a
+	// reloaded capture can be re-simulated against any fabric.
+	Topology string
 	// TotalWorkers is the job's world size; UniqueWorkers counts the
 	// ranks actually emulated after dedup / selective launch.
 	TotalWorkers  int
@@ -78,6 +85,15 @@ type Capture struct {
 	planMu    sync.Mutex
 	plans     map[*estimator.Suite]*planEntry
 	planOrder []*estimator.Suite
+
+	// congMu guards congs: congestion demand maps keyed by the netsim
+	// model that priced them, memoized like plans (the walk over every
+	// collective call is linear in the trace; one capture feeds many
+	// Simulates). Runtime-only, never serialized, same bound and
+	// eviction policy as plans.
+	congMu    sync.Mutex
+	congs     map[*netsim.Model]*sim.CongestionModel
+	congOrder []*netsim.Model
 }
 
 // maxPlansPerCapture bounds how many suites' plans one capture
@@ -159,6 +175,82 @@ func (c *Capture) dropPlanLocked(suite *estimator.Suite) {
 	}
 }
 
+// congestionFor returns the capture's congestion demand map priced by
+// the given netsim model, building it on first use. The map assigns
+// every collective call its link footprint and latency split from the
+// model's cheapest-algorithm plan; the sim engine then resolves
+// concurrently-active footprints against link widths.
+func (c *Capture) congestionFor(m *netsim.Model) *sim.CongestionModel {
+	c.congMu.Lock()
+	defer c.congMu.Unlock()
+	if cm, ok := c.congs[m]; ok {
+		return cm
+	}
+	cm := c.buildCongestion(m)
+	if c.congs == nil {
+		c.congs = make(map[*netsim.Model]*sim.CongestionModel)
+	}
+	if len(c.congs) >= maxPlansPerCapture {
+		delete(c.congs, c.congOrder[0])
+		c.congOrder = c.congOrder[1:]
+	}
+	c.congs[m] = cm
+	c.congOrder = append(c.congOrder, m)
+	return cm
+}
+
+// buildCongestion walks the collated trace once, planning each
+// distinct collective call on the model's topology to record which
+// link domains it occupies and how much of its duration is latency.
+// Calls the model cannot place (unknown membership, empty footprint)
+// are simply left out of the map and replay at their fixed annotated
+// duration.
+func (c *Capture) buildCongestion(m *netsim.Model) *sim.CongestionModel {
+	demands := make(map[trace.CollKey]sim.CollDemand)
+	if c.Job == nil {
+		return &sim.CongestionModel{Widths: m.Topology().LinkWidths(), Demands: demands}
+	}
+	world := 0
+	for _, w := range c.Job.Workers {
+		if w.World > world {
+			world = w.World
+		}
+	}
+	for _, w := range c.Job.Workers {
+		for i := range w.Ops {
+			op := &w.Ops[i]
+			if op.Kind != trace.KindCollective || op.Coll.Seq < 0 {
+				continue
+			}
+			key := trace.CollKeyOf(op)
+			if _, ok := demands[key]; ok {
+				continue
+			}
+			cl := op.Coll
+			ranks := trace.ExpandRanks(c.Comms[cl.CommID], c.CommSizes[cl.CommID], world)
+			if len(ranks) == 0 {
+				ranks = trace.ExpandRanks([]int{w.Rank}, cl.NRanks, world)
+			}
+			n := cl.NRanks
+			if cl.Peer >= 0 {
+				// Point-to-point: the footprint is the two endpoints, not
+				// the whole communicator.
+				if cl.Rank >= len(ranks) || cl.Peer >= len(ranks) {
+					continue
+				}
+				ranks = []int{ranks[cl.Rank], ranks[cl.Peer]}
+				n = 2
+			}
+			est := m.Plan(cl.Op, cl.Bytes, ranks, n)
+			if len(est.Links) == 0 {
+				continue
+			}
+			demands[key] = sim.CollDemand{Links: est.Links, Lat: est.Lat.Nanoseconds()}
+		}
+	}
+	return &sim.CongestionModel{Widths: m.Topology().LinkWidths(), Demands: demands}
+}
+
 // baseReport starts a Report with everything the capture already
 // knows; stage timings are left zero for the caller to fill.
 func (c *Capture) baseReport() *Report {
@@ -195,6 +287,7 @@ var traceMagic = [6]byte{'M', 'A', 'Y', 'A', 'T', 'R'}
 type capturePayload struct {
 	Workload      string           `json:"workload"`
 	Cluster       string           `json:"cluster"`
+	Topology      string           `json:"topology,omitempty"`
 	TotalWorkers  int              `json:"total_workers"`
 	UniqueWorkers int              `json:"unique_workers"`
 	Job           *trace.Job       `json:"job,omitempty"`
@@ -216,6 +309,7 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 	payload, err := json.Marshal(capturePayload{
 		Workload:      c.Workload,
 		Cluster:       c.Cluster,
+		Topology:      c.Topology,
 		TotalWorkers:  c.TotalWorkers,
 		UniqueWorkers: c.UniqueWorkers,
 		Job:           c.Job,
@@ -299,6 +393,7 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	c := &Capture{
 		Workload:       p.Workload,
 		Cluster:        p.Cluster,
+		Topology:       p.Topology,
 		TotalWorkers:   p.TotalWorkers,
 		UniqueWorkers:  p.UniqueWorkers,
 		Job:            p.Job,

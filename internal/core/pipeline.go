@@ -25,6 +25,7 @@ import (
 	"maya/internal/emulator"
 	"maya/internal/estimator"
 	"maya/internal/hardware"
+	"maya/internal/netsim"
 	"maya/internal/silicon"
 	"maya/internal/sim"
 	"maya/internal/trace"
@@ -52,6 +53,15 @@ type Options struct {
 	// Use one observer per run; it is not shared safely across
 	// concurrent calls.
 	Observer sim.Observer
+	// Topology is the network-topology spec predictions run against
+	// (topo.ByName syntax; empty means the cluster's canonical
+	// hierarchy). Stamped into captures for provenance.
+	Topology string
+	// Congestion, when set, resolves collective durations at
+	// simulation time against this network model's shared-link
+	// occupancy: concurrently-active collectives sharing a link split
+	// its bandwidth. Nil replays annotated durations verbatim.
+	Congestion *netsim.Model
 	// Breakdown attaches a stall-attribution observer to the run and
 	// fills Report.Stalls with the per-worker result.
 	Breakdown bool
@@ -164,6 +174,7 @@ func (p *Pipeline) Capture(ctx context.Context, w workload.Workload) (*Capture, 
 	c := &Capture{
 		Workload:     w.Name(),
 		Cluster:      p.Cluster.Name,
+		Topology:     p.Opts.Topology,
 		TotalWorkers: w.World(),
 	}
 
@@ -256,7 +267,11 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 
 	t0 = time.Now()
 	obs, bd := p.runObserver()
-	sr, err := sim.RunPooled(ctx, job, sim.Options{Participants: c.Participants, Observer: obs, Annotations: ann})
+	simOpts := sim.Options{Participants: c.Participants, Observer: obs, Annotations: ann}
+	if p.Opts.Congestion != nil {
+		simOpts.Congestion = c.congestionFor(p.Opts.Congestion)
+	}
+	sr, err := sim.RunPooled(ctx, job, simOpts)
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating %s: %w", c.Workload, err)
 	}

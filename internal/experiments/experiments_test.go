@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17",
 		"table1", "table2", "table3", "table4", "table6", "table7", "table8",
-		"table9", "table10",
+		"table9", "table10", "netsim",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -2,8 +2,18 @@
 // network model in the spirit of ASTRA-sim. Maya plugs it in as the
 // collective estimator for cluster scales where profiled data cannot
 // exist (the paper integrates ASTRA-sim for its 16K-GPU studies,
-// §7.4): collectives decompose into intra-node and inter-node phases
-// over the modeled fabric instead of interpolating measurements.
+// §7.4).
+//
+// The model is built on an explicit topo.Topology: a communicator's
+// rank set resolves to the fabric levels it spans, and every
+// collective is priced under several candidate algorithms — a flat
+// ring, a latency-optimized tree, and a hierarchical decomposition
+// that phases the collective through each crossed level — with the
+// cheapest candidate chosen per (op, bytes, span). That replaces the
+// old hardcoded two-phase intra/inter split: the crossover between
+// algorithms now emerges from message size, communicator span and
+// level fan-out, and non-canonical fabrics (rail-optimized,
+// oversubscribed, pods) are just different topologies.
 package netsim
 
 import (
@@ -11,128 +21,196 @@ import (
 	"time"
 
 	"maya/internal/hardware"
+	"maya/internal/topo"
 )
+
+// Algorithm names a collective schedule the model can price.
+type Algorithm string
+
+// Candidate algorithms.
+const (
+	// AlgoDirect is a single transfer (send/recv, and the all-to-all
+	// exchange, which has no algorithmic freedom in this model).
+	AlgoDirect Algorithm = "direct"
+	// AlgoRing is the bandwidth-optimal flat ring at the top crossed
+	// level: minimal bytes on the wire, (n-1) latency hops.
+	AlgoRing Algorithm = "ring"
+	// AlgoTree is the latency-optimized binary tree: ceil(log2 n)
+	// hops at a bandwidth discount (TreeBWEff).
+	AlgoTree Algorithm = "tree"
+	// AlgoHierarchical phases the collective through every crossed
+	// fabric level — reduce-scatter locally, exchange shards above,
+	// gather back down — so upper levels carry only 1/fanout of the
+	// volume.
+	AlgoHierarchical Algorithm = "hierarchical"
+)
+
+// TreeBWEff is the bandwidth efficiency of the tree schedule relative
+// to a ring: trees halve the hop count but keep links idle while
+// interior nodes turn data around.
+const TreeBWEff = 0.7
+
+// minDuration is the floor for degenerate collectives (single rank or
+// zero bytes): pure launch overhead.
+const minDuration = 10 * time.Microsecond
 
 // Model predicts collective runtimes from first principles on a
 // cluster topology.
 type Model struct {
 	cluster hardware.Cluster
+	top     *topo.Topology
 }
 
-// New builds a network model for the cluster.
+// New builds a network model on the cluster's canonical hierarchical
+// topology.
 func New(cluster hardware.Cluster) *Model {
-	return &Model{cluster: cluster}
+	return NewWithTopology(cluster, topo.FromCluster(cluster))
 }
 
-// linkBW returns effective intra-node bandwidth in bytes/s.
-func (m *Model) intraBW() float64 {
-	node := m.cluster.Node
-	switch node.Topology {
-	case hardware.NVSwitch:
-		return node.GPU.NVLinkGBps * 0.85 * 1e9
-	case hardware.CubeMesh:
-		return node.GPU.NVLinkGBps * 0.55 * 1e9
-	case hardware.PairwiseNVLink:
-		return node.PCIeGBps * 0.65 * 1e9
-	default:
-		return node.PCIeGBps * 0.65 * 1e9
+// NewWithTopology builds a network model on an explicit topology
+// (nil means the cluster's canonical one).
+func NewWithTopology(cluster hardware.Cluster, t *topo.Topology) *Model {
+	if t == nil {
+		t = topo.FromCluster(cluster)
 	}
+	return &Model{cluster: cluster, top: t}
 }
 
-func (m *Model) interBW() float64 {
-	return m.cluster.Node.Inter.PerGPUGBps * 0.80 * 1e9
+// Topology returns the fabric the model prices against.
+func (m *Model) Topology() *topo.Topology { return m.top }
+
+// Candidate is one priced algorithm: wire time (bandwidth term) and
+// latency (hop term) kept separate so the congestion model can
+// stretch only the bandwidth-bound part.
+type Candidate struct {
+	Algorithm Algorithm
+	Xfer      time.Duration
+	Lat       time.Duration
 }
 
-// groupShape analyzes which nodes a rank group touches.
-func (m *Model) groupShape(ranks []int) (nodes int, perNode int) {
-	seen := make(map[int]int)
-	for _, r := range ranks {
-		seen[m.cluster.NodeOf(r)]++
-	}
-	nodes = len(seen)
-	if nodes == 0 {
-		return 1, 1
-	}
-	perNode = (len(ranks) + nodes - 1) / nodes
-	return nodes, perNode
+// Total is the candidate's uncongested duration.
+func (c Candidate) Total() time.Duration { return c.Xfer + c.Lat }
+
+// Estimate is a priced collective: the winning candidate plus the
+// link domains its traffic occupies.
+type Estimate struct {
+	Candidate
+	Links []int32
 }
 
-// EstimateCollective implements the estimator plug-in interface: a
-// two-phase (intra, inter) decomposition of each collective.
+// EstimateCollective implements the estimator plug-in interface
+// (estimator.CollectiveEstimator): the cheapest candidate's total.
 func (m *Model) EstimateCollective(op string, bytes int64, ranks []int, nranks int) time.Duration {
+	return m.Plan(op, bytes, ranks, nranks).Total()
+}
+
+// Plan resolves the communicator on the topology, prices every
+// candidate algorithm and returns the cheapest with its link
+// footprint.
+func (m *Model) Plan(op string, bytes int64, ranks []int, nranks int) Estimate {
 	n := nranks
 	if n <= 0 {
 		n = len(ranks)
 	}
 	if n <= 1 || bytes <= 0 {
-		return 10 * time.Microsecond
+		return Estimate{Candidate: Candidate{Algorithm: AlgoDirect, Lat: minDuration}}
 	}
-	nodes, perNode := m.groupShape(ranks)
-	if len(ranks) < n && nodes > 1 {
-		// Partial membership of a multi-node group: scale the node
-		// estimate by the declared size.
-		nodes = max(nodes, (n+perNode-1)/perNode)
+	path := m.top.Resolve(ranks, n)
+	cands := m.Candidates(op, bytes, n, path)
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Total() < best.Total() {
+			best = c
+		}
 	}
-	intra := m.intraBW()
-	inter := m.interBW()
-	intraLat := 5e-6
-	interLat := m.cluster.Node.Inter.BaseLatency.Seconds() + 6e-6
-
-	b := float64(bytes)
-	var sec float64
-	switch op {
-	case "ncclAllReduce":
-		if nodes == 1 {
-			sec = 2 * frac(n) * b / intra
-			sec += 2 * steps(n) * intraLat
-		} else {
-			// Hierarchical: local reduce-scatter, inter-node
-			// all-reduce on shards, local all-gather.
-			g := float64(perNode)
-			sec = 2 * frac(perNode) * b / intra
-			sec += 2 * frac(nodes) * (b / g) / inter
-			sec += 2*steps(perNode)*intraLat + 2*steps(nodes)*interLat
-		}
-	case "ncclAllGather", "ncclReduceScatter":
-		total := b * float64(n)
-		if nodes == 1 {
-			sec = frac(n) * total / intra
-			sec += steps(n) * intraLat
-		} else {
-			g := float64(perNode)
-			sec = frac(perNode) * total / intra
-			sec += frac(nodes) * (total / g) / inter
-			sec += steps(perNode)*intraLat + steps(nodes)*interLat
-		}
-	case "ncclBroadcast":
-		bw := intra
-		lat := intraLat
-		if nodes > 1 {
-			bw = inter
-			lat = interLat
-		}
-		sec = b/bw + steps(n)*lat
-	case "ncclAllToAll":
-		bw := intra
-		if nodes > 1 {
-			bw = inter
-		}
-		sec = 1.5*frac(n)*b*float64(n)/bw + float64(n)*interLat
-	case "ncclSend", "ncclRecv":
-		if nodes == 1 {
-			sec = b/intra + intraLat
-		} else {
-			sec = b/(m.cluster.Node.Inter.PerGPUGBps*0.85*1e9) + interLat
-		}
-	default:
-		bw := intra
-		if nodes > 1 {
-			bw = inter
-		}
-		sec = frac(n)*b/bw + steps(n)*interLat
-	}
-	return time.Duration(sec * 1e9)
+	return Estimate{Candidate: best, Links: path.Links}
 }
+
+// Candidates prices every applicable algorithm for a collective on a
+// resolved path. Exported so the selection can be property-tested:
+// Plan's choice is always the minimum-total candidate, and each
+// candidate's total is monotone in bytes.
+func (m *Model) Candidates(op string, bytes int64, n int, path topo.Path) []Candidate {
+	top := path.Top()
+	if top == 0 {
+		top = 1 // degenerate path; price at the first fabric level
+	}
+	lvl := m.top.Levels[top]
+	bw := lvl.BWGBps * 1e9
+	lat := lvl.Latency.Seconds()
+	b := float64(bytes)
+
+	switch op {
+	case "ncclSend", "ncclRecv":
+		return []Candidate{{Algorithm: AlgoDirect, Xfer: dur(b / bw), Lat: dur(lat)}}
+	case "ncclAllToAll":
+		// Personalized exchange: every rank moves its whole buffer,
+		// with one hop per peer at the crossed level's latency (a
+		// single-node group pays intra latency, not inter).
+		return []Candidate{{
+			Algorithm: AlgoDirect,
+			Xfer:      dur(1.5 * frac(n) * b * float64(n) / bw),
+			Lat:       dur(float64(n) * lat),
+		}}
+	case "ncclAllReduce":
+		vol := 2 * frac(n) * b
+		cands := []Candidate{
+			{Algorithm: AlgoRing, Xfer: dur(vol / bw), Lat: dur(2 * float64(n-1) * lat)},
+			{Algorithm: AlgoTree, Xfer: dur(vol / (bw * TreeBWEff)), Lat: dur(2 * steps(n) * lat)},
+		}
+		return m.appendHier(cands, op, b, n, path, top)
+	case "ncclAllGather", "ncclReduceScatter":
+		vol := frac(n) * b * float64(n)
+		cands := []Candidate{
+			{Algorithm: AlgoRing, Xfer: dur(vol / bw), Lat: dur(float64(n-1) * lat)},
+			{Algorithm: AlgoTree, Xfer: dur(vol / (bw * TreeBWEff)), Lat: dur(steps(n) * lat)},
+		}
+		return m.appendHier(cands, op, b, n, path, top)
+	case "ncclBroadcast":
+		cands := []Candidate{
+			{Algorithm: AlgoRing, Xfer: dur(b / bw), Lat: dur(float64(n-1) * lat)},
+			{Algorithm: AlgoTree, Xfer: dur(b / (bw * TreeBWEff)), Lat: dur(steps(n) * lat)},
+		}
+		return m.appendHier(cands, op, b, n, path, top)
+	default:
+		return []Candidate{{Algorithm: AlgoDirect, Xfer: dur(frac(n) * b / bw), Lat: dur(steps(n) * lat)}}
+	}
+}
+
+// appendHier adds the hierarchical candidate when the path crosses
+// more than one fabric level: phase the collective through each
+// level, sharding the payload by the fan-out already covered so upper
+// levels carry only their slice.
+func (m *Model) appendHier(cands []Candidate, op string, b float64, n int, path topo.Path, top int) []Candidate {
+	if top < 2 {
+		return cands
+	}
+	var xfer, lat float64
+	shard := 1.0
+	for i := 1; i <= top; i++ {
+		f := (path.Span[i-1] + path.Span[i] - 1) / path.Span[i]
+		if f <= 1 {
+			continue
+		}
+		bw := m.top.Levels[i].BWGBps * 1e9
+		hop := m.top.Levels[i].Latency.Seconds()
+		switch op {
+		case "ncclAllReduce":
+			xfer += 2 * frac(f) * (b / shard) / bw
+			lat += 2 * steps(f) * hop
+		case "ncclAllGather", "ncclReduceScatter":
+			xfer += frac(f) * (b * float64(n) / shard) / bw
+			lat += steps(f) * hop
+		case "ncclBroadcast":
+			xfer += b / bw
+			lat += steps(f) * hop
+		}
+		shard *= float64(f)
+	}
+	return append(cands, Candidate{Algorithm: AlgoHierarchical, Xfer: dur(xfer), Lat: dur(lat)})
+}
+
+func dur(sec float64) time.Duration { return time.Duration(sec * 1e9) }
 
 func frac(n int) float64 {
 	if n <= 1 {

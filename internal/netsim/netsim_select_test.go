@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"maya/internal/hardware"
+	"maya/internal/topo"
+)
+
+func contiguous(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// Regression for the old send/recv inconsistency: p2p transfers inlined
+// a 0.85 inter-bandwidth derate while group collectives used 0.80. Both
+// now share topo.InterDerate, and the estimate is pinned exactly.
+func TestSendRecvUnifiedInterDerate(t *testing.T) {
+	c := hardware.DGXH100(2)
+	m := New(c)
+	b := int64(1 << 26)
+
+	lvl := m.Topology().Levels[2]
+	if got, want := lvl.BWGBps, c.Node.Inter.PerGPUGBps*topo.InterDerate; got != want {
+		t.Fatalf("spine BW = %g GB/s, want %g (unified InterDerate)", got, want)
+	}
+	for _, op := range []string{"ncclSend", "ncclRecv"} {
+		got := m.EstimateCollective(op, b, []int{0, 8}, 2)
+		want := dur(float64(b)/(lvl.BWGBps*1e9)) + dur(lvl.Latency.Seconds())
+		if got != want {
+			t.Fatalf("%s inter = %v, want %v", op, got, want)
+		}
+		old := dur(float64(b)/(c.Node.Inter.PerGPUGBps*0.85*1e9)) + dur(lvl.Latency.Seconds())
+		if got == old {
+			t.Fatalf("%s inter still priced with the 0.85 derate (%v)", op, got)
+		}
+	}
+
+	// Intra-island p2p rides the island fabric, not the NIC.
+	intra := m.Topology().Levels[1]
+	got := m.EstimateCollective("ncclSend", b, []int{0, 1}, 2)
+	want := dur(float64(b)/(intra.BWGBps*1e9)) + dur(intra.Latency.Seconds())
+	if got != want {
+		t.Fatalf("intra send = %v, want %v", got, want)
+	}
+}
+
+// Regression for the old all-to-all inconsistency: single-node groups
+// were charged interLat per step. The latency term now comes from the
+// level the group actually crosses.
+func TestAllToAllLatencyMatchesCrossedLevel(t *testing.T) {
+	c := hardware.DGXH100(4)
+	m := New(c)
+	b := int64(1 << 20)
+
+	intra := m.Topology().Levels[1]
+	est := m.Plan("ncclAllToAll", b, []int{0, 1, 2, 3}, 4)
+	if want := dur(4 * intra.Latency.Seconds()); est.Lat != want {
+		t.Fatalf("single-node alltoall lat = %v, want %v (intra)", est.Lat, want)
+	}
+	if want := dur(1.5 * frac(4) * float64(b) * 4 / (intra.BWGBps * 1e9)); est.Xfer != want {
+		t.Fatalf("single-node alltoall xfer = %v, want %v", est.Xfer, want)
+	}
+	spine := m.Topology().Levels[2]
+	if buggy := dur(4 * spine.Latency.Seconds()); est.Lat == buggy {
+		t.Fatalf("single-node alltoall still charged inter latency %v", buggy)
+	}
+
+	// A group that does cross the spine pays inter latency per step.
+	cross := m.Plan("ncclAllToAll", b, []int{0, 8}, 2)
+	if want := dur(2 * spine.Latency.Seconds()); cross.Lat != want {
+		t.Fatalf("cross-node alltoall lat = %v, want %v (inter)", cross.Lat, want)
+	}
+}
+
+var gridOps = []string{
+	"ncclAllReduce", "ncclAllGather", "ncclReduceScatter",
+	"ncclBroadcast", "ncclAllToAll", "ncclSend",
+}
+
+// Property: at every (bytes, nranks) grid point the plan's choice is
+// optimal among the priced candidates.
+func TestSelectionOptimalOverGrid(t *testing.T) {
+	m := New(hardware.DGXH100(8))
+	for _, op := range gridOps {
+		for _, n := range []int{2, 3, 4, 8, 12, 16, 32, 64} {
+			ranks := contiguous(n)
+			path := m.Topology().Resolve(ranks, n)
+			for b := int64(1 << 10); b <= 1<<30; b <<= 2 {
+				cands := m.Candidates(op, b, n, path)
+				if len(cands) == 0 {
+					t.Fatalf("%s n=%d b=%d: no candidates", op, n, b)
+				}
+				best := cands[0]
+				for _, c := range cands[1:] {
+					if c.Total() < best.Total() {
+						best = c
+					}
+				}
+				est := m.Plan(op, b, ranks, n)
+				if est.Total() != best.Total() {
+					t.Fatalf("%s n=%d b=%d: plan chose %s (%v), optimum is %s (%v)",
+						op, n, b, est.Algorithm, est.Total(), best.Algorithm, best.Total())
+				}
+				found := false
+				for _, c := range cands {
+					if c == est.Candidate {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s n=%d b=%d: chosen %+v not among candidates", op, n, b, est.Candidate)
+				}
+			}
+		}
+	}
+}
+
+// Property: estimates stay monotone in bytes, including across the
+// algorithm-crossover boundary (the min of increasing candidates is
+// increasing).
+func TestEstimateMonotoneAcrossCrossover(t *testing.T) {
+	m := New(hardware.DGXH100(8))
+	for _, op := range gridOps {
+		for _, n := range []int{2, 4, 8, 16, 64} {
+			ranks := contiguous(n)
+			prev := time.Duration(-1)
+			prevAlgo := Algorithm("")
+			switched := false
+			for b := int64(1 << 10); b <= 1<<30; b <<= 1 {
+				est := m.Plan(op, b, ranks, n)
+				if est.Total() < prev {
+					t.Fatalf("%s n=%d: estimate fell %v -> %v at b=%d (algo %s -> %s)",
+						op, n, prev, est.Total(), b, prevAlgo, est.Algorithm)
+				}
+				if prevAlgo != "" && est.Algorithm != prevAlgo {
+					switched = true
+				}
+				prev, prevAlgo = est.Total(), est.Algorithm
+			}
+			// Intra-island multi-rank groups must actually cross over
+			// (latency-bound tree at small sizes, ring at large).
+			if n > 2 && n <= 8 && op == "ncclAllReduce" && !switched {
+				t.Fatalf("%s n=%d: no algorithm crossover across the bytes sweep", op, n)
+			}
+		}
+	}
+}
+
+// The crossover lands where it should: latency-optimized tree for
+// small intra collectives, bandwidth-optimal ring for large ones, and
+// hierarchical decomposition for large multi-node spans.
+func TestCrossoverEndpoints(t *testing.T) {
+	m := New(hardware.DGXH100(8))
+	r8 := contiguous(8)
+	if got := m.Plan("ncclAllReduce", 1<<14, r8, 8).Algorithm; got != AlgoTree {
+		t.Fatalf("small intra allreduce chose %s, want %s", got, AlgoTree)
+	}
+	if got := m.Plan("ncclAllReduce", 1<<28, r8, 8).Algorithm; got != AlgoRing {
+		t.Fatalf("large intra allreduce chose %s, want %s", got, AlgoRing)
+	}
+	r64 := contiguous(64)
+	if got := m.Plan("ncclAllReduce", 1<<28, r64, 64).Algorithm; got != AlgoHierarchical {
+		t.Fatalf("large multi-node allreduce chose %s, want %s", got, AlgoHierarchical)
+	}
+}
+
+// Partial-membership groups (deduplicated captures observe only unique
+// workers) resolve to the same plan — same cost, same link footprint —
+// as the fully-expanded membership, including on multi-island pod
+// fabrics.
+func TestPartialMembershipMatchesExpandedGroup(t *testing.T) {
+	c := hardware.DGXH100(8)
+	top, err := topo.ByName("pods:2", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewWithTopology(c, top)
+	for _, op := range gridOps {
+		for _, b := range []int64{1 << 16, 1 << 26} {
+			got := m.Plan(op, b, []int{0, 16}, 4)
+			want := m.Plan(op, b, []int{0, 16, 32, 48}, 4)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s b=%d: partial plan %+v != expanded plan %+v", op, b, got, want)
+			}
+			if len(got.Links) == 0 {
+				t.Fatalf("%s b=%d: multi-pod plan has empty link footprint", op, b)
+			}
+		}
+	}
+}
+
+// Non-contiguous rank sets resolve through the real path, not a node
+// count heuristic: a two-island group priced at spine bandwidth even
+// when its ranks are not a uniform stride.
+func TestNonContiguousGroupCrossesSpine(t *testing.T) {
+	c := hardware.DGXH100(8)
+	m := New(c)
+	b := int64(1 << 26)
+	// Ranks 0,1 on island 0 and 9,25 on islands 1,3: crosses the spine.
+	est := m.Plan("ncclAllReduce", b, []int{0, 1, 9, 25}, 4)
+	intra := m.Plan("ncclAllReduce", b, []int{0, 1, 2, 3}, 4)
+	if est.Total() <= intra.Total() {
+		t.Fatalf("non-contiguous multi-island group (%v) not slower than intra group (%v)",
+			est.Total(), intra.Total())
+	}
+}

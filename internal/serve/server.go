@@ -44,6 +44,13 @@ import (
 type Config struct {
 	// Cluster is the hardware every prediction targets.
 	Cluster maya.Cluster
+	// Topology is the network-fabric spec the predictor models the
+	// cluster with ("" or "auto" derives it from the hardware; see
+	// maya.WithTopology for the spec grammar). Validated by New.
+	Topology string
+	// Congestion makes every prediction resolve collectives against
+	// link-level contention (maya.WithCongestion).
+	Congestion bool
 	// Profile selects the estimator profile (default ProfileLLM).
 	Profile maya.ProfileKind
 	// Workers bounds concurrent predictions (default GOMAXPROCS).
@@ -121,9 +128,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxDeadline <= 0 {
 		cfg.MaxDeadline = 2 * time.Minute
 	}
-	pred, err := maya.NewPredictor(cfg.Cluster, cfg.Profile,
+	popts := []maya.PredictorOption{
 		maya.WithEstimatorCache(maya.NewEstimatorCache()),
-		maya.WithCaptureCache(maya.NewCaptureCache(cfg.CaptureCacheSize)))
+		maya.WithCaptureCache(maya.NewCaptureCache(cfg.CaptureCacheSize)),
+		maya.WithTopology(cfg.Topology),
+	}
+	if cfg.Congestion {
+		popts = append(popts, maya.WithCongestion())
+	}
+	pred, err := maya.NewPredictor(cfg.Cluster, cfg.Profile, popts...)
 	if err != nil {
 		return nil, err
 	}
@@ -605,6 +618,8 @@ type healthzBody struct {
 	Status         string                 `json:"status"` // "ok" or "draining"
 	Build          buildinfo.Info         `json:"build"`
 	Cluster        string                 `json:"cluster"`
+	Topology       string                 `json:"topology"`
+	Congestion     bool                   `json:"congestion"`
 	Profile        string                 `json:"profile"`
 	Workers        int                    `json:"workers"`
 	UptimeS        float64                `json:"uptime_s"`
@@ -624,6 +639,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:         status,
 		Build:          s.build,
 		Cluster:        s.cfg.Cluster.Name,
+		Topology:       s.pred.Topology(),
+		Congestion:     s.pred.CongestionDefault(),
 		Profile:        profileName(s.cfg.Profile),
 		Workers:        s.pool.Workers(),
 		UptimeS:        time.Since(s.started).Seconds(),
@@ -687,6 +704,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	m.Latency.writeProm(&b, "maya_serve_latency_seconds")
 	m.QueueWait.writeProm(&b, "maya_serve_queue_wait_seconds")
+
+	fmt.Fprintf(&b, "maya_serve_topology_info{topology=%q} 1\n", s.pred.Topology())
+	congested := int64(0)
+	if s.pred.CongestionDefault() {
+		congested = 1
+	}
+	counter("maya_serve_congestion_enabled", congested)
 
 	fmt.Fprintf(&b, "maya_build_info{version=%q,revision=%q} 1\n",
 		s.build.Version, s.build.Revision)

@@ -503,3 +503,69 @@ func TestWarmPreload(t *testing.T) {
 		t.Error("Warm accepted an unparseable preload entry")
 	}
 }
+
+func TestTopologyAndCongestionSurfaced(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Topology = "oversub:2"
+		c.Congestion = true
+	})
+	if got := s.Predictor().Topology(); got != "oversub:2" {
+		t.Fatalf("predictor topology = %q, want oversub:2", got)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hraw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	var hb healthzBody
+	if err := json.Unmarshal(hraw, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Topology != "oversub:2" || !hb.Congestion {
+		t.Errorf("healthz topology/congestion = %q/%v, want oversub:2/true", hb.Topology, hb.Congestion)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mraw)
+	for _, metric := range []string{
+		`maya_serve_topology_info{topology="oversub:2"} 1`,
+		"maya_serve_congestion_enabled 1",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %q\n%s", metric, text)
+		}
+	}
+
+	// Defaults: the auto fabric, congestion off.
+	dflt, dts := newTestServer(t, nil)
+	if got := dflt.Predictor().Topology(); got != "auto" {
+		t.Errorf("default topology = %q, want auto", got)
+	}
+	dresp, err := http.Get(dts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	dtext := string(draw)
+	for _, metric := range []string{
+		`maya_serve_topology_info{topology="auto"} 1`,
+		"maya_serve_congestion_enabled 0",
+	} {
+		if !strings.Contains(dtext, metric) {
+			t.Errorf("default /metrics missing %q", metric)
+		}
+	}
+
+	// An unparseable fabric spec fails at construction, not first use.
+	if _, err := New(Config{Cluster: maya.DGXV100(1), Topology: "mesh:banana"}); err == nil {
+		t.Error("New accepted an invalid topology spec")
+	}
+}

@@ -308,25 +308,18 @@ func (o *Oracle) CollectiveTime(opName string, bytes int64, ranks []int) time.Du
 	var busBW float64 // GB/s along the algorithm's bottleneck
 	var lat float64   // ns per algorithm step
 	if intra {
-		switch node.Topology {
-		case hardware.NVSwitch:
-			busBW = node.GPU.NVLinkGBps * 0.85
-			lat = 4500
-		case hardware.CubeMesh:
-			busBW = node.GPU.NVLinkGBps * 0.55
-			lat = 6000
-		case hardware.PairwiseNVLink:
-			if n == 2 && paired(ranks) {
-				busBW = node.GPU.NVLinkGBps * 0.80
-			} else {
-				busBW = node.PCIeGBps * 0.65
-			}
-			lat = 8000
-		default:
-			busBW = node.PCIeGBps * 0.65
-			lat = 9000
-		}
+		busBW, lat = o.intraBus(n, ranks)
 	} else {
+		// Real NCCL runs the bandwidth-bound collectives
+		// hierarchically when a multi-node communicator has several
+		// ranks per node: an NVLink phase inside each node and an
+		// inter-node phase on 1/perNode of the payload.
+		if nodes := o.nodeSpan(ranks); nodes > 1 && n > nodes {
+			switch opName {
+			case "ncclAllReduce", "ncclAllGather", "ncclReduceScatter":
+				return o.hierCollectiveTime(opName, bytes, n, nodes)
+			}
+		}
 		busBW = node.Inter.PerGPUGBps * 0.80
 		lat = float64(node.Inter.BaseLatency.Nanoseconds()) + 6000
 	}
@@ -357,14 +350,79 @@ func (o *Oracle) CollectiveTime(opName string, bytes int64, ranks []int) time.Du
 
 	// Size/participant-bucket quirks: protocol switches (LL, LL128,
 	// Simple) create steps in real NCCL bandwidth curves.
+	return time.Duration(ns * o.wiggle(opName, bytes, n, intra))
+}
+
+// wiggle is the size/participant-bucket quirk factor: protocol
+// switches (LL, LL128, Simple) create steps in real NCCL bandwidth
+// curves.
+func (o *Oracle) wiggle(opName string, bytes int64, n int, intra bool) float64 {
 	bucket := 0
 	if bytes > 0 {
 		bucket = int(math.Log2(float64(bytes))) / 2
 	}
 	h := prand.Hash64("coll", string(o.cluster.Node.GPU.Arch), opName)
 	h = prand.HashInts(h, int64(bucket), int64(n), boolToInt(intra))
-	wiggle := 1 + (prand.New(h).Float64()*2-1)*0.06
-	return time.Duration(ns * wiggle)
+	return 1 + (prand.New(h).Float64()*2-1)*0.06
+}
+
+// intraBus returns the bus bandwidth (GB/s) and per-step latency (ns)
+// of an intra-node collective among n ranks.
+func (o *Oracle) intraBus(n int, ranks []int) (busBW, lat float64) {
+	node := o.cluster.Node
+	switch node.Topology {
+	case hardware.NVSwitch:
+		return node.GPU.NVLinkGBps * 0.85, 4500
+	case hardware.CubeMesh:
+		return node.GPU.NVLinkGBps * 0.55, 6000
+	case hardware.PairwiseNVLink:
+		if n == 2 && paired(ranks) {
+			return node.GPU.NVLinkGBps * 0.80, 8000
+		}
+		return node.PCIeGBps * 0.65, 8000
+	default:
+		return node.PCIeGBps * 0.65, 9000
+	}
+}
+
+// hierCollectiveTime is the two-phase truth for bandwidth-bound
+// collectives on multi-node groups with several ranks per node:
+// phase 1 inside each node over NVLink, phase 2 across nodes on
+// 1/perNode of the payload.
+func (o *Oracle) hierCollectiveTime(opName string, bytes int64, n, nodes int) time.Duration {
+	node := o.cluster.Node
+	m := (n + nodes - 1) / nodes // ranks per node
+	intraBW, intraLat := o.intraBus(m, nil)
+	interBW := node.Inter.PerGPUGBps * 0.80
+	interLat := float64(node.Inter.BaseLatency.Nanoseconds()) + 6000
+	b := float64(bytes)
+	fm := float64(m-1) / float64(m)
+	fn := float64(nodes-1) / float64(nodes)
+	sm := math.Ceil(math.Log2(float64(m)))
+	sn := math.Ceil(math.Log2(float64(nodes)))
+	var ns float64
+	switch opName {
+	case "ncclAllReduce":
+		ns = 2*fm*b/(intraBW*1e9)*1e9 + 2*sm*intraLat
+		ns += 2*fn*(b/float64(m))/(interBW*1e9)*1e9 + 2*sn*interLat
+	case "ncclAllGather", "ncclReduceScatter":
+		out := b * float64(n)
+		ns = fm*out/(intraBW*1e9)*1e9 + sm*intraLat
+		ns += fn*(out/float64(m))/(interBW*1e9)*1e9 + sn*interLat
+	}
+	return time.Duration(ns * o.wiggle(opName, bytes, n, false))
+}
+
+// nodeSpan counts the nodes a (stride-ordered) rank set touches.
+func (o *Oracle) nodeSpan(ranks []int) int {
+	cnt, last := 0, -1
+	for _, r := range ranks {
+		if nd := o.cluster.NodeOf(r); nd != last {
+			cnt++
+			last = nd
+		}
+	}
+	return cnt
 }
 
 func boolToInt(b bool) int64 {

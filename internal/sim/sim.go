@@ -78,6 +78,15 @@ type Options struct {
 	// returns.
 	Annotations *trace.Annotations
 
+	// Congestion, when non-nil, resolves collective durations against
+	// a shared-link occupancy model at fire time: concurrently-active
+	// collectives sharing a link domain split its bandwidth. Off by
+	// default (collectives replay their annotated durations verbatim).
+	// Deterministic: results are bit-identical across runs, pooling
+	// and worker counts. Not meaningful combined with CommContention
+	// (physical mode models contention its own way).
+	Congestion *CongestionModel
+
 	// Physical-mode knobs (ground truth only; zero for prediction).
 
 	// JitterFrac is the relative sigma of deterministic log-normal
@@ -207,6 +216,8 @@ const (
 	evOpEnd                    // a timed device op completed (arg = epoch)
 	evStreamKick               // resume an event-released stream
 	evCollDone                 // a collective finished (arg = its start time)
+	evFlowStart                // a congestion flow's deferred start (arg = epoch)
+	evFlowDone                 // a congestion flow may have finished (arg = epoch)
 )
 
 // simEvent is one scheduled occurrence: a kind, its due time, a
@@ -217,6 +228,7 @@ type simEvent struct {
 	arg  int64
 	st   *streamState
 	host *hostState
+	flow *congFlow
 	kind evKind
 }
 
@@ -275,6 +287,12 @@ type Engine struct {
 	colls        map[trace.CollKey]*collGroup
 	freeColls    []*collGroup
 	participants map[trace.CollKey]int
+	// Congestion state: active flows in start order, recycled flow
+	// records, and per-link-domain occupancy counts.
+	cong      *CongestionModel
+	flows     []*congFlow
+	freeFlows []*congFlow
+	linkUse   []int32
 	// activeColls tracks, per worker, the fired-but-unfinished
 	// collective intervals, for SM-contention overlap queries.
 	activeColls [][]interval
@@ -352,6 +370,17 @@ func (e *Engine) scrub() {
 		e.recycleColl(g)
 	}
 	clear(e.colls)
+	e.cong = nil
+	for _, f := range e.flows {
+		if f.group != nil {
+			e.recycleColl(f.group)
+		}
+		f.group, f.links = nil, nil
+		f.active = false
+		e.freeFlows = append(e.freeFlows, f)
+	}
+	clear(e.flows)
+	e.flows = e.flows[:0]
 }
 
 // Reset rebinds the engine to a job, reusing all storage grown by
@@ -382,6 +411,15 @@ func (e *Engine) Reset(job *trace.Job, opts Options) {
 	e.participants = opts.Participants
 	if e.participants == nil {
 		e.participants = trace.Participation(job)
+	}
+
+	e.cong = opts.Congestion
+	if e.cong != nil {
+		if cap(e.linkUse) < len(e.cong.Widths) {
+			e.linkUse = make([]int32, len(e.cong.Widths))
+		}
+		e.linkUse = e.linkUse[:len(e.cong.Widths)]
+		clear(e.linkUse)
 	}
 }
 
@@ -514,6 +552,10 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 			e.kickStream(ev.st)
 		case evCollDone:
 			e.collDone(ev.st, ev.arg, ev.t)
+		case evFlowStart:
+			e.flowStart(ev.flow, ev.arg)
+		case evFlowDone:
+			e.flowDone(ev.flow, ev.arg)
 		}
 	}
 	for i := range e.hosts {
@@ -919,6 +961,12 @@ func (e *Engine) joinCollective(st *streamState, op *trace.Op, arrive int64) {
 	dur := g.dur
 	if e.opts.JitterFrac > 0 {
 		dur = int64(float64(dur) * e.rng.factor(int64(key.Comm), int64(key.Seq)))
+	}
+	if e.cong != nil {
+		if d, ok := e.cong.Demands[key]; ok && len(d.Links) > 0 {
+			e.fireFlow(key, g, d, startAt, dur)
+			return
+		}
 	}
 	end := startAt + dur
 	for i, p := range g.arrived {

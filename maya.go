@@ -41,6 +41,7 @@ import (
 	"maya/internal/netsim"
 	"maya/internal/silicon"
 	"maya/internal/sim"
+	"maya/internal/topo"
 	"maya/internal/workload"
 )
 
@@ -152,13 +153,15 @@ var (
 // annotate with the ground-truth oracle (MeasureActual, or Predict
 // under WithOracleAnnotation) never require a trained suite.
 type Predictor struct {
-	cluster  hardware.Cluster
-	kind     ProfileKind
-	opts     core.Options
-	cache    *EstimatorCache
-	captures *CaptureCache
-	netsim   bool
-	oracle   *silicon.Oracle
+	cluster    hardware.Cluster
+	kind       ProfileKind
+	opts       core.Options
+	cache      *EstimatorCache
+	captures   *CaptureCache
+	netsim     bool
+	congestion bool
+	netModel   *netsim.Model
+	oracle     *silicon.Oracle
 
 	// netsimSuites memoizes the netsim-wrapped view of each resolved
 	// base suite. Wrapping allocates a new *Suite, and capture-
@@ -172,10 +175,12 @@ type Predictor struct {
 
 // predictorConfig collects NewPredictor options.
 type predictorConfig struct {
-	opts     core.Options
-	cache    *EstimatorCache
-	captures *CaptureCache
-	netsim   bool
+	opts       core.Options
+	cache      *EstimatorCache
+	captures   *CaptureCache
+	netsim     bool
+	congestion bool
+	topology   string
 }
 
 // PredictorOption customizes Predictor construction. Options that
@@ -209,6 +214,19 @@ func WithEstimatorCache(cache *EstimatorCache) PredictorOption {
 	return predictorOption(func(c *predictorConfig) { c.cache = cache })
 }
 
+// WithTopology selects the network fabric the predictor models the
+// cluster with, as a declarative spec: "auto" (or "") derives the
+// canonical hierarchy from the cluster hardware, "flat" collapses it
+// to one fabric level, "rail" gives the spine one rail per local GPU,
+// "oversub:K" divides spine bandwidth by K, and "pods:K" inserts a
+// pod tier of K islands under an oversubscribed core. The spec is
+// validated at NewPredictor. It shapes netsim collective estimates
+// (WithNetSim) and congestion-aware simulation (WithCongestion), and
+// is stamped into captures as provenance.
+func WithTopology(spec string) PredictorOption {
+	return predictorOption(func(c *predictorConfig) { c.topology = spec })
+}
+
 // Option is accepted both at predictor construction and per call:
 // construction sets the predictor's default, a per-call use overrides
 // it for that call only.
@@ -235,6 +253,25 @@ func WithNetSim() Option {
 	return dualOption{
 		ctor: func(c *predictorConfig) { c.netsim = true },
 		call: func(s *predictSettings) { on := true; s.netsim = &on },
+	}
+}
+
+// WithCongestion resolves collective completions against link-level
+// contention instead of replaying annotated durations verbatim:
+// concurrently-active collectives whose communicators span the same
+// fabric link split its bandwidth (the latency portion of each
+// collective is unaffected). Off by default. The model is exercised
+// at simulation time only — capture is unchanged — and is fully
+// deterministic: repeated runs, pooled and fresh engines produce
+// bit-identical reports. Physical-replay calls (MeasureActual,
+// WithPhysicalReplay) model contention through the silicon instead
+// and ignore this option. As a PredictorOption it becomes the
+// predictor's default; as a PredictOption it enables (or, via
+// construction default, carries) congestion for one call.
+func WithCongestion() Option {
+	return dualOption{
+		ctor: func(c *predictorConfig) { c.congestion = true },
+		call: func(s *predictSettings) { on := true; s.congestion = &on },
 	}
 }
 
@@ -265,14 +302,21 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 	for _, opt := range opts {
 		opt.applyPredictor(&cfg)
 	}
+	fabric, err := topo.ByName(cfg.topology, cluster)
+	if err != nil {
+		return nil, fmt.Errorf("maya: %w", err)
+	}
+	cfg.opts.Topology = cfg.topology
 	return &Predictor{
-		cluster:  cluster,
-		kind:     kind,
-		opts:     cfg.opts,
-		cache:    cfg.cache,
-		captures: cfg.captures,
-		netsim:   cfg.netsim,
-		oracle:   core.DefaultOracle(cluster),
+		cluster:    cluster,
+		kind:       kind,
+		opts:       cfg.opts,
+		cache:      cfg.cache,
+		captures:   cfg.captures,
+		netsim:     cfg.netsim,
+		congestion: cfg.congestion,
+		netModel:   netsim.NewWithTopology(cluster, fabric),
+		oracle:     core.DefaultOracle(cluster),
 	}, nil
 }
 
@@ -284,18 +328,28 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 // Predict/Simulate.
 func (p *Predictor) WithNetworkSimulator() *Predictor {
 	return &Predictor{
-		cluster:  p.cluster,
-		kind:     p.kind,
-		opts:     p.opts,
-		cache:    p.cache,
-		captures: p.captures,
-		netsim:   true,
-		oracle:   p.oracle,
+		cluster:    p.cluster,
+		kind:       p.kind,
+		opts:       p.opts,
+		cache:      p.cache,
+		captures:   p.captures,
+		netsim:     true,
+		congestion: p.congestion,
+		netModel:   p.netModel,
+		oracle:     p.oracle,
 	}
 }
 
 // Cluster returns the predictor's target cluster.
 func (p *Predictor) Cluster() Cluster { return p.cluster }
+
+// Topology returns the name of the network fabric the predictor
+// models ("auto" for the cluster-derived default).
+func (p *Predictor) Topology() string { return p.netModel.Topology().Name }
+
+// CongestionDefault reports whether congestion-aware simulation is
+// this predictor's construction default (WithCongestion).
+func (p *Predictor) CongestionDefault() bool { return p.congestion }
 
 // ProfileKind returns the kernel-family profile the predictor's
 // estimators are trained on.
@@ -325,15 +379,16 @@ func (p *Predictor) Warm(ctx context.Context) error {
 // predictSettings are the per-call knobs of Predict, MeasureActual,
 // Capture, Simulate and batch requests.
 type predictSettings struct {
-	flops     float64
-	dtype     DType
-	oracle    bool
-	physical  bool
-	breakdown bool
-	observer  sim.Observer
-	netsim    *bool
-	seed      *uint64
-	validate  *bool
+	flops      float64
+	dtype      DType
+	oracle     bool
+	physical   bool
+	breakdown  bool
+	observer   sim.Observer
+	netsim     *bool
+	congestion *bool
+	seed       *uint64
+	validate   *bool
 }
 
 // PredictOption customizes one Predict, MeasureActual, Capture,
@@ -449,7 +504,7 @@ func (p *Predictor) netsimView(base *estimator.Suite) *estimator.Suite {
 	defer p.netsimMu.Unlock()
 	if p.netsimBase != base {
 		p.netsimBase = base
-		p.netsimSuite = base.WithCollectiveEstimator(netsim.New(p.cluster))
+		p.netsimSuite = base.WithCollectiveEstimator(p.netModel)
 	}
 	return p.netsimSuite
 }
@@ -478,6 +533,15 @@ func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.P
 	pipe.Opts.Breakdown = s.breakdown
 	if s.oracle {
 		pipe.Opts.Oracle = p.oracle
+	}
+	congestion := p.congestion
+	if s.congestion != nil {
+		congestion = *s.congestion
+	}
+	if congestion && !s.physical {
+		// Physical replay models contention through the silicon; the
+		// link-sharing model applies to simulated predictions only.
+		pipe.Opts.Congestion = p.netModel
 	}
 	if !s.oracle && !s.physical {
 		suite, err := p.resolveSuite(ctx, s)

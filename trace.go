@@ -50,6 +50,12 @@ func (t *Trace) Workload() string { return t.cap.Workload }
 // Cluster names the cluster the capture modeled.
 func (t *Trace) Cluster() string { return t.cap.Cluster }
 
+// Topology is the network-fabric spec the capture's predictor was
+// configured with ("" for the cluster-derived auto topology).
+// Provenance only: the trace itself is topology-independent and can
+// be re-simulated under any fabric.
+func (t *Trace) Topology() string { return t.cap.Topology }
+
 // TotalWorkers is the job's world size.
 func (t *Trace) TotalWorkers() int { return t.cap.TotalWorkers }
 
