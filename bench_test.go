@@ -552,3 +552,65 @@ func BenchmarkPredictBatch(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSearchThroughput measures recipe-search throughput
+// (trials/sec) at Parallel 1/2/4/8 on the fig16 setups, with the
+// capture cache warmed first so the number isolates the per-trial
+// search cost: verdict fast path, domination abort, worker-affine
+// simulation. CI archives it as BENCH_search.json.
+func BenchmarkSearchThroughput(b *testing.B) {
+	ctx := context.Background()
+	setups := []struct {
+		name    string
+		cluster hardware.Cluster
+		model   models.Transformer
+		batch   int
+	}{
+		{"GPT3-2.7B/8xV100", hardware.DGXV100(1), models.GPT3_2_7B(), 64},
+		{"GPT3-18.4B/64xH100", hardware.DGXH100(8), models.GPT3_18_4B(), 128},
+	}
+	const budget = 128
+	for _, s := range setups {
+		pred, err := maya.NewPredictor(s.cluster, maya.ProfileLLM,
+			maya.WithCaptureCache(maya.NewCaptureCache(2048)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		problem := maya.SearchProblem{Model: s.model, GlobalBatch: s.batch}
+		base := maya.SearchOptions{Algorithm: "cma", Budget: budget, Seed: 7, EarlyStopWindow: -1}
+		run := func(name string, opts maya.SearchOptions) {
+			// Warm the estimator suite and the capture cache on this
+			// variant's own trajectory: CMA-ES is deterministic at fixed
+			// seed (and independent of Parallel), so the timed runs
+			// revisit exactly the topologies the warm run captures.
+			if _, err := pred.FindRecipe(ctx, problem, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(name, func(b *testing.B) {
+				trials := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := pred.FindRecipe(ctx, problem, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					trials += len(out.History)
+				}
+				b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+			})
+		}
+		for _, par := range []int{1, 2, 4, 8} {
+			opts := base
+			opts.Parallel = par
+			run(fmt.Sprintf("%s/p%d", s.name, par), opts)
+		}
+		// Baseline ablation: verdict fast path and domination abort
+		// disabled, so every trial pays the full resolve+simulate cost
+		// the search paid before those optimizations landed.
+		ablated := base
+		ablated.Parallel = 8
+		ablated.DisableVerdictFastPath = true
+		ablated.DominationSlack = -1
+		run(fmt.Sprintf("%s/ablated-p8", s.name), ablated)
+	}
+}

@@ -26,6 +26,7 @@ func main() {
 	var (
 		clusterSpec = flag.String("cluster", "32xH100", "cluster spec")
 		topology    = flag.String("topology", "", "network fabric spec: auto (default), flat, rail, oversub:K, pods:K")
+		congestion  = flag.Bool("congestion", false, "resolve collectives against link-level contention (concurrent collectives sharing a fabric link split its bandwidth)")
 		modelName   = flag.String("model", "gpt3-18.4b", "model preset")
 		batch       = flag.Int("batch", 256, "global batch size")
 		algo        = flag.String("algo", "cma", "cma | oneplusone | pso | twopointsde | random | grid")
@@ -55,6 +56,9 @@ func main() {
 		mdl.Name, cluster.Name, *algo, *budget)
 
 	popts := []maya.PredictorOption{maya.WithTopology(*topology)}
+	if *congestion {
+		popts = append(popts, maya.WithCongestion())
+	}
 	if *capCache > 0 {
 		popts = append(popts, maya.WithCaptureCache(maya.NewCaptureCache(*capCache)))
 	}
@@ -78,8 +82,9 @@ func main() {
 	fmt.Printf("  iteration:   %v\n", out.Best.IterTime)
 	fmt.Printf("  MFU:         %.1f%%\n", out.Best.MFU*100)
 	fmt.Printf("  peak memory: %.1f GiB\n", float64(out.Best.PeakMem)/(1<<30))
-	fmt.Printf("trials: %d executed, %d cached, %d pruned, %d invalid (%s in %v)\n",
-		out.Stats.Executed, out.Stats.Cached, out.Stats.Skipped, out.Stats.Invalid,
+	fmt.Printf("trials: %d executed, %d oom-verdict, %d dominated, %d cached, %d pruned, %d invalid (%s in %v)\n",
+		out.Stats.Executed, out.Stats.Verdict, out.Stats.Dominated,
+		out.Stats.Cached, out.Stats.Skipped, out.Stats.Invalid,
 		out.Stopped, out.Elapsed.Round(1e6))
 	if interrupted {
 		os.Exit(130)

@@ -97,6 +97,12 @@ type Report struct {
 	// OOM marks configurations that exceeded device memory; timing
 	// fields are zero in that case.
 	OOM bool
+	// Truncated marks a simulation abandoned at the caller's
+	// simulated-clock horizon (SimulateScratch's limit): every timing
+	// field is a lower bound on the full run, and the true iteration
+	// time is known to exceed the horizon. Recipe searches use this to
+	// discard trials provably slower than an incumbent.
+	Truncated bool
 	// MFU is model FLOPs utilization, when model FLOPs were supplied.
 	MFU float64
 
@@ -226,6 +232,52 @@ func (p *Pipeline) Capture(ctx context.Context, w workload.Workload) (*Capture, 
 // Simulate of the pair — batch sweeps, search trials, repeated
 // per-call annotation — fills the overlay with one copy.
 func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64, dtype hardware.DType) (*Report, error) {
+	return p.SimulateScratch(ctx, c, modelFLOPs, dtype, nil, 0)
+}
+
+// SimScratch is caller-owned simulation scratch: a persistent engine
+// and annotation overlay that one goroutine reuses across many
+// Simulate calls. A search worker evaluating thousands of trials owns
+// one SimScratch for its lifetime, so trial evaluation skips the
+// process-wide engine and overlay pools entirely (no cross-goroutine
+// pool churn, storage stays hot in one worker's hands). Not safe for
+// concurrent use; zero value is not usable — construct with
+// NewSimScratch.
+type SimScratch struct {
+	engine *sim.Engine
+	ann    *trace.Annotations
+}
+
+// NewSimScratch returns fresh scratch for one evaluation goroutine.
+func NewSimScratch() *SimScratch {
+	return &SimScratch{engine: sim.NewEngine(), ann: &trace.Annotations{}}
+}
+
+var simScratchPool = sync.Pool{New: func() any { return NewSimScratch() }}
+
+// AcquireSimScratch returns scratch from a process-wide pool. Unlike
+// NewSimScratch it usually hands back storage already grown by a
+// previous owner, so a fresh batch of search workers skips the
+// slice-growth churn of their first trials. Pair with Release.
+func AcquireSimScratch() *SimScratch {
+	return simScratchPool.Get().(*SimScratch)
+}
+
+// Release scrubs the scratch — dropping every reference to the last
+// simulated job — and parks it for the next AcquireSimScratch.
+// The scratch must not be used after Release.
+func (s *SimScratch) Release() {
+	s.engine.Scrub()
+	simScratchPool.Put(s)
+}
+
+// SimulateScratch is Simulate with two search-loop extensions: when
+// scratch is non-nil the run reuses the caller's persistent engine
+// and overlay instead of the process-wide pools, and when limit is
+// positive the simulation stops at that simulated-clock horizon,
+// returning a report with Truncated set (see sim.Options.TimeLimit).
+// A nil scratch with zero limit is exactly Simulate.
+func (p *Pipeline) SimulateScratch(ctx context.Context, c *Capture, modelFLOPs float64, dtype hardware.DType, scratch *SimScratch, limit time.Duration) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -235,8 +287,15 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 	}
 	t0 := time.Now()
 	job := c.Job
-	ann := trace.AcquireAnnotations(job)
-	defer ann.Release()
+	var ann *trace.Annotations
+	if scratch != nil {
+		if scratch.ann.Rebind(job) {
+			ann = scratch.ann
+		}
+	} else {
+		ann = trace.AcquireAnnotations(job)
+		defer ann.Release()
+	}
 	if ann == nil {
 		job = c.Job.Clone()
 	}
@@ -267,16 +326,23 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Capture, modelFLOPs float64,
 
 	t0 = time.Now()
 	obs, bd := p.runObserver()
-	simOpts := sim.Options{Participants: c.Participants, Observer: obs, Annotations: ann}
+	simOpts := sim.Options{Participants: c.Participants, Observer: obs, Annotations: ann, TimeLimit: limit}
 	if p.Opts.Congestion != nil {
 		simOpts.Congestion = c.congestionFor(p.Opts.Congestion)
 	}
-	sr, err := sim.RunPooled(ctx, job, simOpts)
+	var sr *sim.Report
+	if scratch != nil {
+		scratch.engine.Reset(job, simOpts)
+		sr, err = scratch.engine.Run(ctx)
+	} else {
+		sr, err = sim.RunPooled(ctx, job, simOpts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating %s: %w", c.Workload, err)
 	}
 	rep.Stages.Simulate = time.Since(t0)
 
+	rep.Truncated = sr.Truncated
 	p.fill(rep, sr, modelFLOPs, dtype)
 	attachStalls(rep, bd, sr)
 	return rep, nil

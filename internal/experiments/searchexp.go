@@ -38,30 +38,50 @@ func searchSetups() []setupSpec {
 }
 
 // evaluatorFor builds the search evaluator backed by Maya's pipeline,
-// with per-search stage-time accounting.
-func (e *Env) evaluatorFor(ctx context.Context, setup setupSpec, opts core.Options, stages *core.StageTimings, mu *sync.Mutex) (search.Evaluator, error) {
+// with per-search stage-time accounting. ablate restores the
+// simulate-everything path for capture-OOM trials (the Fig. 15
+// verdict-fast-path ablation).
+func (e *Env) evaluatorFor(ctx context.Context, setup setupSpec, opts core.Options, ablate bool, stages *core.StageTimings, mu *sync.Mutex) (search.Evaluator, error) {
 	pipe, err := e.Predictor(ctx, setup.cluster, estimator.ProfileLLM)
 	if err != nil {
 		return nil, err
 	}
 	p := &core.Pipeline{Cluster: setup.cluster, Suite: pipe.Suite, Opts: opts}
 	flops := setup.model.TrainFLOPsPerIter(setup.globalBatch)
-	return func(ctx context.Context, cfg framework.MegatronConfig) (search.EvalResult, error) {
+	addStages := func(s core.StageTimings) {
+		if stages == nil {
+			return
+		}
+		mu.Lock()
+		stages.Emulate += s.Emulate
+		stages.Collate += s.Collate
+		stages.Estimate += s.Estimate
+		stages.Simulate += s.Simulate
+		mu.Unlock()
+	}
+	return func(ctx context.Context, cfg framework.MegatronConfig, bound time.Duration) (search.EvalResult, error) {
 		w, err := framework.NewMegatron(cfg)
 		if err != nil {
 			return search.EvalResult{}, err
 		}
-		rep, err := p.Predict(ctx, w, flops, hardware.BF16)
+		c, err := p.Capture(ctx, w)
 		if err != nil {
 			return search.EvalResult{}, err
 		}
-		if stages != nil {
-			mu.Lock()
-			stages.Emulate += rep.Stages.Emulate
-			stages.Collate += rep.Stages.Collate
-			stages.Estimate += rep.Stages.Estimate
-			stages.Simulate += rep.Stages.Simulate
-			mu.Unlock()
+		if c.OOM && !ablate {
+			// Verdict fast path: the emulator's memory accounting
+			// already decided this trial; skip estimation + simulation.
+			addStages(core.StageTimings{Emulate: c.EmulateTime, Collate: c.CollateTime})
+			return search.EvalResult{OOM: true, PeakMem: c.PeakMemBytes, Verdict: true}, nil
+		}
+		rep, err := p.SimulateScratch(ctx, c, flops, hardware.BF16, nil, bound)
+		if err != nil {
+			return search.EvalResult{}, err
+		}
+		rep.Stages.Emulate, rep.Stages.Collate = c.EmulateTime, c.CollateTime
+		addStages(rep.Stages)
+		if rep.Truncated {
+			return search.EvalResult{Truncated: true, PeakMem: rep.PeakMemBytes}, nil
 		}
 		return search.EvalResult{
 			OOM: rep.OOM, IterTime: rep.IterTime, MFU: rep.MFU, PeakMem: rep.PeakMemBytes,
@@ -72,7 +92,7 @@ func (e *Env) evaluatorFor(ctx context.Context, setup setupSpec, opts core.Optio
 // searchOutcome runs (and memoizes) one CMA-ES search per setup.
 func (e *Env) searchOutcome(ctx context.Context, setup setupSpec) (*search.Outcome, error) {
 	v, err := e.memo("search/"+setup.name, func() (any, error) {
-		eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, nil, nil)
+		eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, false, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +117,7 @@ func (e *Env) searchOutcome(ctx context.Context, setup setupSpec) (*search.Outco
 // (with caching and pruning, like the paper's reference run).
 func (e *Env) gridOptimum(ctx context.Context, setup setupSpec) (*search.Outcome, error) {
 	v, err := e.memo("grid/"+setup.name, func() (any, error) {
-		eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, nil, nil)
+		eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, false, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +158,7 @@ func fig11(ctx context.Context, e *Env) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			setup.name,
 			out.Elapsed.Round(time.Millisecond).String(),
-			fmt.Sprintf("%d exec/%d total", out.Stats.Executed, len(out.History)),
+			fmt.Sprintf("%d exec/%d total", out.Stats.Executed+out.Stats.Verdict+out.Stats.Dominated, len(out.History)),
 			out.Best.Knobs.String(),
 			dur2s(out.Best.IterTime),
 			dur2s(grid.Best.IterTime),
@@ -153,7 +173,7 @@ func fig15(ctx context.Context, e *Env) (*Table, error) {
 	t := &Table{
 		ID:     "fig15",
 		Title:  "Trial status breakdown during configuration search",
-		Header: []string{"setup", "executed", "cached", "skipped", "invalid", "skipped frac"},
+		Header: []string{"setup", "executed", "verdict", "dominated", "cached", "skipped", "invalid", "skipped frac"},
 	}
 	for _, setup := range searchSetups() {
 		out, err := e.searchOutcome(ctx, setup)
@@ -161,14 +181,19 @@ func fig15(ctx context.Context, e *Env) (*Table, error) {
 			return nil, err
 		}
 		s := out.Stats
-		resolved := s.Executed + s.Skipped
+		// "Resolved" means the trial ran the pipeline in some form:
+		// full execution, capture-verdict OOM, domination abort, or a
+		// tactic skip. The skip fraction keeps its pre-fast-path
+		// denominator (Executed then included verdicts and dominated
+		// trials) so the paper comparison holds.
+		resolved := s.Executed + s.Verdict + s.Dominated + s.Skipped
 		frac := 0.0
 		if resolved > 0 {
 			frac = float64(s.Skipped) / float64(resolved)
 		}
 		t.Rows = append(t.Rows, []string{
-			setup.name, fmt.Sprint(s.Executed), fmt.Sprint(s.Cached),
-			fmt.Sprint(s.Skipped), fmt.Sprint(s.Invalid), pct(frac),
+			setup.name, fmt.Sprint(s.Executed), fmt.Sprint(s.Verdict), fmt.Sprint(s.Dominated),
+			fmt.Sprint(s.Cached), fmt.Sprint(s.Skipped), fmt.Sprint(s.Invalid), pct(frac),
 		})
 	}
 	t.Notes = append(t.Notes, "paper: pruning skips 20-30% of configurations")
@@ -191,7 +216,7 @@ func fig16(ctx context.Context, e *Env) (*Table, error) {
 		for _, algo := range algos {
 			key := fmt.Sprintf("fig16/%s/%s", setup.name, algo)
 			v, err := e.memo(key, func() (any, error) {
-				eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, nil, nil)
+				eval, err := e.evaluatorFor(ctx, setup, core.Options{SelectiveLaunch: true}, false, nil, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -243,9 +268,10 @@ func table6(ctx context.Context, e *Env) (*Table, error) {
 	budget := e.Scale.pick(192, 640)
 
 	type variant struct {
-		name string
-		opts core.Options
-		sopt search.Options
+		name   string
+		opts   core.Options
+		ablate bool
+		sopt   search.Options
 	}
 	variants := []variant{
 		{
@@ -254,15 +280,19 @@ func table6(ctx context.Context, e *Env) (*Table, error) {
 			sopt: search.Options{Algorithm: "cma", Budget: budget, Parallel: 8, Seed: 7},
 		},
 		{
-			name: "No optimizations (full emulation, grid, no pruning)",
-			opts: core.Options{NoDedup: true},
-			sopt: search.Options{Algorithm: "grid", Budget: budget, Parallel: 8, Seed: 7, DisablePruning: true, EarlyStopWindow: -1},
+			name:   "No optimizations (full emulation, grid, no pruning)",
+			opts:   core.Options{NoDedup: true},
+			ablate: true,
+			sopt: search.Options{
+				Algorithm: "grid", Budget: budget, Parallel: 8, Seed: 7,
+				DisablePruning: true, EarlyStopWindow: -1, DominationSlack: -1,
+			},
 		},
 	}
 	for _, v := range variants {
 		var stages core.StageTimings
 		var mu sync.Mutex
-		eval, err := e.evaluatorFor(ctx, setup, v.opts, &stages, &mu)
+		eval, err := e.evaluatorFor(ctx, setup, v.opts, v.ablate, &stages, &mu)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +313,7 @@ func table6(ctx context.Context, e *Env) (*Table, error) {
 			stages.Collate.Round(time.Millisecond).String(),
 			stages.Estimate.Round(time.Millisecond).String(),
 			stages.Simulate.Round(time.Millisecond).String(),
-			fmt.Sprint(out.Stats.Executed),
+			fmt.Sprint(out.Stats.Executed + out.Stats.Verdict + out.Stats.Dominated),
 			total.Round(time.Millisecond).String(),
 		})
 	}

@@ -18,12 +18,35 @@ type EvalResult struct {
 	IterTime time.Duration
 	MFU      float64
 	PeakMem  int64
+	// Verdict marks an OOM resolved straight off the capture's
+	// peak-memory verdict, without plan resolution or simulation —
+	// the search accounts it separately from full executions.
+	Verdict bool
+	// Truncated marks a trial abandoned at the domination bound: the
+	// simulation proved iteration time exceeds the bound and stopped.
+	// Timing fields are not meaningful; the search records the trial
+	// as dominated.
+	Truncated bool
 }
 
-// Evaluator runs one trial. Implementations must be safe for
-// concurrent use; Maya's pipeline is. The evaluator receives the
+// Evaluator runs one trial. bound is the generation's domination
+// bound (zero means none): an evaluator that can prove the recipe's
+// iteration time exceeds bound may abandon the trial early and return
+// Truncated instead of a full result. Implementations must be safe
+// for concurrent use; Maya's pipeline is. The evaluator receives the
 // search's ctx and should abort promptly once it is cancelled.
-type Evaluator func(ctx context.Context, cfg framework.MegatronConfig) (EvalResult, error)
+type Evaluator func(ctx context.Context, cfg framework.MegatronConfig, bound time.Duration) (EvalResult, error)
+
+// WorkerFactory builds one evaluator per search worker. Each of the
+// Options.Parallel workers calls the factory exactly once at startup
+// and uses the returned evaluator for every trial it runs, so the
+// evaluator may own per-worker scratch (a persistent simulation
+// engine, a reusable annotation overlay) without any locking. The
+// returned evaluators need not be safe for concurrent use with each
+// other's state, but must produce identical results for identical
+// (cfg, bound) inputs regardless of which worker runs the trial —
+// search determinism rests on that.
+type WorkerFactory func(worker int) Evaluator
 
 // Status classifies how a trial was resolved (Fig. 15).
 type Status int
@@ -38,6 +61,14 @@ const (
 	StatusSkipped
 	// StatusInvalid points violate structural constraints.
 	StatusInvalid
+	// StatusVerdict trials OOMed at capture time: the verdict came
+	// straight off the emulator's memory accounting, with no plan
+	// resolution or simulation.
+	StatusVerdict
+	// StatusDominated trials were abandoned mid-simulation once their
+	// iteration time provably exceeded the generation's domination
+	// bound.
+	StatusDominated
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +80,10 @@ func (s Status) String() string {
 		return "cached"
 	case StatusSkipped:
 		return "skipped"
+	case StatusVerdict:
+		return "verdict"
+	case StatusDominated:
+		return "dominated"
 	default:
 		return "invalid"
 	}
@@ -56,15 +91,19 @@ func (s Status) String() string {
 
 // Result is one resolved trial.
 type Result struct {
-	Knobs    Knobs
-	Config   framework.MegatronConfig
-	Status   Status
-	Invalid  bool
-	OOM      bool
-	IterTime time.Duration
-	MFU      float64
-	PeakMem  int64
-	Tactic   string // pruning tactic that resolved a skipped trial
+	Knobs   Knobs
+	Config  framework.MegatronConfig
+	Status  Status
+	Invalid bool
+	OOM     bool
+	// Dominated marks a trial abandoned at the domination bound; its
+	// IterTime/MFU are zero and pruning tactics must not transfer
+	// runtimes from it.
+	Dominated bool
+	IterTime  time.Duration
+	MFU       float64
+	PeakMem   int64
+	Tactic    string // pruning tactic that resolved a skipped trial
 }
 
 // Options configures a search run.
@@ -74,16 +113,39 @@ type Options struct {
 	Algorithm string
 	// Budget is the maximum number of sampled points (default 2000).
 	Budget int
-	// Parallel is the number of concurrent trials (default 8).
+	// Parallel is the number of concurrent trials (default 8). It is
+	// purely an execution resource: outcomes are bit-identical for any
+	// Parallel value at a fixed Population.
 	Parallel int
+	// Population is the optimizer's generation size (default 8). It is
+	// a search hyperparameter, deliberately decoupled from Parallel so
+	// that adding workers never changes what the search explores.
+	Population int
 	// Seed drives the optimizer's randomness.
 	Seed uint64
 	// DisablePruning turns the Table-10 tactics off (ablation).
 	DisablePruning bool
 	// EarlyStopWindow stops the search when the top-5 MFU set is
-	// unchanged for this many consecutive non-OOM trials (default 20;
-	// negative disables).
+	// unchanged for this many consecutive freshly-resolved non-OOM
+	// trials — executed, tactic-skipped or dominated (default 20;
+	// negative disables). Cached repeats of old points do not advance
+	// the window: revisiting history is optimizer stagnation, not
+	// evidence the frontier has settled.
 	EarlyStopWindow int
+	// DominationSlack scales the per-generation domination bound:
+	// a trial is abandoned once its simulated clock provably exceeds
+	// slack x the best completed-generation iteration time. Zero means
+	// the default 1.5; negative disables domination abort. The bound
+	// is fixed per generation from fully-completed generations only,
+	// so outcomes are bit-identical for any Parallel value. Because
+	// the bound always exceeds the incumbent best, no potentially
+	// optimal trial is ever truncated.
+	DominationSlack float64
+	// DisableVerdictFastPath makes evaluators simulate capture-OOM
+	// trials instead of returning the capture verdict directly (the
+	// Fig. 15 ablation). Only consulted by evaluators; the search loop
+	// itself just accounts verdicts separately.
+	DisableVerdictFastPath bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,10 +158,25 @@ func (o Options) withDefaults() Options {
 	if o.Parallel == 0 {
 		o.Parallel = 8
 	}
+	if o.Population == 0 {
+		o.Population = 8
+	}
 	if o.EarlyStopWindow == 0 {
 		o.EarlyStopWindow = 20
 	}
 	return o
+}
+
+// domSlack resolves the effective domination slack (0 disabled).
+func (o Options) domSlack() float64 {
+	switch {
+	case o.DominationSlack < 0:
+		return 0
+	case o.DominationSlack == 0:
+		return 1.5
+	default:
+		return o.DominationSlack
+	}
 }
 
 // ProgressPoint records best-so-far quality against search effort —
@@ -116,6 +193,12 @@ type Stats struct {
 	Cached   int
 	Skipped  int
 	Invalid  int
+	// Verdict counts trials resolved by the capture-time OOM verdict
+	// alone (no simulation). In ablation mode these land in Executed
+	// instead; Executed+Verdict is invariant.
+	Verdict int
+	// Dominated counts trials abandoned at the domination bound.
+	Dominated int
 	// SkippedByTactic breaks skips down per pruning rule.
 	SkippedByTactic map[string]int
 }
@@ -130,15 +213,30 @@ type Outcome struct {
 	Stopped    string // why the search ended
 }
 
-// Run executes a configuration search for the problem. Cancelling
-// ctx stops the trial loop: no further generations are issued, the
-// in-flight trials abort through their own ctx observation, and Run
-// returns the partial outcome (Stopped == "cancelled") alongside
-// ctx.Err().
+// Run executes a configuration search for the problem with one shared
+// evaluator. It is RunWorkers with a constant factory; see there for
+// the loop's semantics.
 func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome, error) {
+	return RunWorkers(ctx, p, func(int) Evaluator { return eval }, opts)
+}
+
+// RunWorkers executes a configuration search for the problem over a
+// fixed pool of Options.Parallel workers, each owning the evaluator
+// its factory call returned for the whole run (worker-affine
+// evaluation: per-worker scratch stays hot across trials, nothing is
+// re-acquired per trial). Trial results are reduced in canonical
+// generation order, and the domination bound is fixed per generation
+// from completed generations only, so the Outcome is bit-identical
+// for any Parallel value and any goroutine schedule.
+//
+// Cancelling ctx stops the trial loop: no further generations are
+// issued, the in-flight trials abort through their own ctx
+// observation, and RunWorkers returns the partial outcome (Stopped ==
+// "cancelled") alongside ctx.Err().
+func RunWorkers(ctx context.Context, p Problem, factory WorkerFactory, opts Options) (*Outcome, error) {
 	opts = opts.withDefaults()
 	space := MegatronSpace()
-	opt, err := newOptimizer(opts.Algorithm, space, opts.Parallel, prand.HashInts(opts.Seed, 0x5ea4c4))
+	opt, err := newOptimizer(opts.Algorithm, space, opts.Population, prand.HashInts(opts.Seed, 0x5ea4c4))
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +244,9 @@ func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome
 	if opts.DisablePruning {
 		tactics = nil
 	}
+
+	pool := startTrialPool(opts.Parallel, factory)
+	defer pool.stop()
 
 	h := newHistory()
 	out := &Outcome{Stats: Stats{SkippedByTactic: make(map[string]int)}}
@@ -170,6 +271,14 @@ func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome
 			gen = gen[:opts.Budget-sampled]
 		}
 		sampled += len(gen)
+
+		// The domination bound is fixed before the generation runs,
+		// from the best of fully-completed generations — a value every
+		// goroutine schedule agrees on.
+		var bound time.Duration
+		if slack := opts.domSlack(); slack > 0 && out.Best != nil {
+			bound = time.Duration(float64(out.Best.IterTime) * slack)
+		}
 
 		results := make([]*Result, len(gen))
 		needEval := make([]int, 0, len(gen))
@@ -207,8 +316,9 @@ func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome
 			needEval = append(needEval, i)
 		}
 
-		// Concurrent trials for the unresolved candidates.
-		if err := runTrials(ctx, eval, results, needEval, opts.Parallel); err != nil {
+		// Concurrent trials for the unresolved candidates, on the
+		// persistent worker pool.
+		if err := pool.run(ctx, results, needEval, bound); err != nil {
 			if ctx.Err() != nil {
 				out.Stopped = "cancelled"
 				break
@@ -216,14 +326,22 @@ func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome
 			return nil, err
 		}
 		for _, i := range needEval {
-			h.put(results[i])
-			out.Stats.Executed++
+			r := results[i]
+			h.put(r)
+			switch r.Status {
+			case StatusVerdict:
+				out.Stats.Verdict++
+			case StatusDominated:
+				out.Stats.Dominated++
+			default:
+				out.Stats.Executed++
+			}
 		}
 
 		// Feed the optimizer and update progress tracking.
 		ys := make([]float64, len(gen))
 		for i, r := range results {
-			ys[i] = objective(r)
+			ys[i] = objective(r, bound)
 			out.History = append(out.History, r)
 			if r.Status != StatusInvalid && !r.OOM && r.Status != StatusCached {
 				uniqueValid++
@@ -242,9 +360,9 @@ func Run(ctx context.Context, p Problem, eval Evaluator, opts Options) (*Outcome
 		// Early stopping on a stable top-5 (by MFU) over non-OOM
 		// trials.
 		if opts.EarlyStopWindow > 0 {
-			top := topMFU(h, 5)
+			top := h.topMFU()
 			if equalTop(top, lastTop) {
-				stable += countNonOOM(results)
+				stable += countFresh(results)
 			} else {
 				stable = 0
 				lastTop = top
@@ -277,38 +395,59 @@ func applyTactics(tactics []Tactic, k Knobs, h *history) (derived, string, bool)
 	return derived{}, "", false
 }
 
-func runTrials(ctx context.Context, eval Evaluator, results []*Result, idx []int, parallel int) error {
-	sem := make(chan struct{}, parallel)
-	errs := make([]error, len(idx))
-	var wg sync.WaitGroup
-	for n, i := range idx {
-		wg.Add(1)
-		go func(n, i int) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				errs[n] = ctx.Err()
-				return
+// trialPool is the fixed set of worker goroutines trials run on. Each
+// worker builds its evaluator once (worker-affine scratch) and serves
+// trial jobs for the pool's whole lifetime; generations borrow the
+// pool via run.
+type trialPool struct {
+	work chan trialJob
+	wg   sync.WaitGroup
+}
+
+type trialJob struct {
+	ctx   context.Context
+	r     *Result
+	bound time.Duration
+	err   *error
+	done  *sync.WaitGroup
+}
+
+func startTrialPool(parallel int, factory WorkerFactory) *trialPool {
+	p := &trialPool{work: make(chan trialJob)}
+	for w := 0; w < parallel; w++ {
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			eval := factory(w)
+			for j := range p.work {
+				runTrial(eval, j)
+				j.done.Done()
 			}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[n] = err
-				return
-			}
-			r := results[i]
-			ev, err := eval(ctx, r.Config)
-			if err != nil {
-				errs[n] = fmt.Errorf("search: trial %s: %w", r.Knobs, err)
-				return
-			}
-			r.OOM = ev.OOM
-			r.IterTime = ev.IterTime
-			r.MFU = ev.MFU
-			r.PeakMem = ev.PeakMem
-		}(n, i)
+		}(w)
 	}
-	wg.Wait()
+	return p
+}
+
+func (p *trialPool) stop() {
+	close(p.work)
+	p.wg.Wait()
+}
+
+// run evaluates results[idx...] on the pool and blocks until the
+// generation drains. Results land at their canonical positions in
+// results, so reduction order is independent of scheduling; errors
+// are reported in idx order.
+func (p *trialPool) run(ctx context.Context, results []*Result, idx []int, bound time.Duration) error {
+	if len(idx) == 0 {
+		return nil
+	}
+	errs := make([]error, len(idx))
+	var done sync.WaitGroup
+	done.Add(len(idx))
+	for n, i := range idx {
+		p.work <- trialJob{r: results[i], bound: bound, err: &errs[n], ctx: ctx, done: &done}
+	}
+	done.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -317,22 +456,54 @@ func runTrials(ctx context.Context, eval Evaluator, results []*Result, idx []int
 	return nil
 }
 
-// objective is the minimized value: iteration time, with invalid and
-// OOM points pushed out by large penalties (graded so the optimizer
-// still senses direction).
-func objective(r *Result) float64 {
+func runTrial(eval Evaluator, j trialJob) {
+	if err := j.ctx.Err(); err != nil {
+		*j.err = err
+		return
+	}
+	r := j.r
+	ev, err := eval(j.ctx, r.Config, j.bound)
+	if err != nil {
+		*j.err = fmt.Errorf("search: trial %s: %w", r.Knobs, err)
+		return
+	}
+	switch {
+	case ev.Truncated:
+		r.Status = StatusDominated
+		r.Dominated = true
+		r.PeakMem = ev.PeakMem
+	case ev.Verdict:
+		r.Status = StatusVerdict
+		r.OOM = true
+		r.PeakMem = ev.PeakMem
+	default:
+		r.OOM = ev.OOM
+		r.IterTime = ev.IterTime
+		r.MFU = ev.MFU
+		r.PeakMem = ev.PeakMem
+	}
+}
+
+// objective is the minimized value: iteration time, with invalid, OOM
+// and dominated points pushed out by graded penalties (the optimizer
+// still senses direction). A dominated trial's true time is unknown
+// beyond exceeding the bound, so the bound itself is the honest —
+// and schedule-independent — stand-in.
+func objective(r *Result, bound time.Duration) float64 {
 	switch {
 	case r.Invalid:
 		return 1e9
 	case r.OOM:
 		return 1e6
+	case r.Dominated:
+		return bound.Seconds()
 	default:
 		return r.IterTime.Seconds()
 	}
 }
 
 func better(r, best *Result) bool {
-	if r.Invalid || r.OOM || r.IterTime <= 0 {
+	if r.Invalid || r.OOM || r.Dominated || r.IterTime <= 0 {
 		return false
 	}
 	return best == nil || r.IterTime < best.IterTime
@@ -352,10 +523,13 @@ func bestIter(r *Result) time.Duration {
 	return r.IterTime
 }
 
-func topMFU(h *history, n int) []float64 {
+// naiveTopMFU recomputes the top-n MFUs by scanning the whole
+// history — the reference implementation history.topMFU's incremental
+// bookkeeping is tested against.
+func naiveTopMFU(h *history, n int) []float64 {
 	var mfus []float64
 	for _, r := range h.byKnobs {
-		if !r.OOM && !r.Invalid && r.MFU > 0 {
+		if topEligible(r) {
 			mfus = append(mfus, r.MFU)
 		}
 	}
@@ -378,12 +552,17 @@ func equalTop(a, b []float64) bool {
 	return true
 }
 
-func countNonOOM(rs []*Result) int {
+// countFresh counts the generation's freshly resolved non-OOM trials
+// — executed, tactic-skipped or dominated — toward the early-stop
+// stability window. Cached repeats of already-evaluated points are
+// excluded (see Options.EarlyStopWindow).
+func countFresh(rs []*Result) int {
 	n := 0
 	for _, r := range rs {
-		if !r.OOM && !r.Invalid {
-			n++
+		if r.OOM || r.Invalid || r.Status == StatusCached {
+			continue
 		}
+		n++
 	}
 	return n
 }

@@ -73,7 +73,7 @@ func TestProblemBuildConstraints(t *testing.T) {
 
 // syntheticEval scores configs analytically so optimizer behavior can
 // be tested quickly: a known optimum plus OOM region.
-func syntheticEval(_ context.Context, cfg framework.MegatronConfig) (EvalResult, error) {
+func syntheticEval(_ context.Context, cfg framework.MegatronConfig, _ time.Duration) (EvalResult, error) {
 	// Optimum at tp=2, pp=4; penalty grows with distance.
 	score := 1.0
 	score += 0.3 * abs(cfg.TP-2)
@@ -139,9 +139,9 @@ func TestGridFindsExactOptimum(t *testing.T) {
 
 func TestCachingAvoidsReevaluation(t *testing.T) {
 	var evals atomic.Int64
-	counting := func(ctx context.Context, cfg framework.MegatronConfig) (EvalResult, error) {
+	counting := func(ctx context.Context, cfg framework.MegatronConfig, bound time.Duration) (EvalResult, error) {
 		evals.Add(1)
-		return syntheticEval(ctx, cfg)
+		return syntheticEval(ctx, cfg, bound)
 	}
 	out, err := Run(context.Background(), testProblem(), counting, Options{
 		Algorithm: "random", Budget: 800, Parallel: 4, Seed: 5, EarlyStopWindow: -1, DisablePruning: true,
@@ -259,14 +259,14 @@ func TestSearchCancellationStopsTrials(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var evals atomic.Int64
 	release := make(chan struct{})
-	counting := func(ctx context.Context, cfg framework.MegatronConfig) (EvalResult, error) {
+	counting := func(ctx context.Context, cfg framework.MegatronConfig, bound time.Duration) (EvalResult, error) {
 		evals.Add(1)
 		select {
 		case <-release:
 		case <-ctx.Done():
 			return EvalResult{}, ctx.Err()
 		}
-		return syntheticEval(ctx, cfg)
+		return syntheticEval(ctx, cfg, bound)
 	}
 	done := make(chan struct{})
 	var out *Outcome

@@ -21,13 +21,20 @@ type derived struct {
 	from     Knobs
 }
 
-// history indexes completed evaluations by knobs.
+// topN is the size of the incrementally-maintained MFU leaderboard
+// the early-stop criterion watches.
+const topN = 5
+
+// history indexes completed evaluations by knobs and maintains the
+// top-N MFU leaderboard incrementally on put — a long search would
+// otherwise rescan and re-sort the whole map every generation.
 type history struct {
 	byKnobs map[Knobs]*Result
+	top     []float64 // descending, at most topN entries
 }
 
 func newHistory() *history {
-	return &history{byKnobs: make(map[Knobs]*Result)}
+	return &history{byKnobs: make(map[Knobs]*Result), top: make([]float64, 0, topN)}
 }
 
 func (h *history) get(k Knobs) (*Result, bool) {
@@ -36,7 +43,43 @@ func (h *history) get(k Knobs) (*Result, bool) {
 }
 
 func (h *history) put(r *Result) {
+	// A duplicate knob inside one generation re-puts an identical
+	// result; the map overwrite is harmless but the leaderboard must
+	// count the point once, like a map scan would.
+	if _, dup := h.byKnobs[r.Knobs]; !dup && topEligible(r) {
+		h.insertTop(r.MFU)
+	}
 	h.byKnobs[r.Knobs] = r
+}
+
+// topEligible reports whether a result participates in the MFU
+// leaderboard: a real, finished measurement.
+func topEligible(r *Result) bool {
+	return !r.OOM && !r.Invalid && !r.Dominated && r.MFU > 0
+}
+
+// insertTop inserts v into the descending leaderboard, dropping the
+// smallest entry once it exceeds topN.
+func (h *history) insertTop(v float64) {
+	i := len(h.top)
+	for i > 0 && h.top[i-1] < v {
+		i--
+	}
+	if i >= topN {
+		return
+	}
+	if len(h.top) < topN {
+		h.top = append(h.top, 0)
+	}
+	copy(h.top[i+1:], h.top[i:])
+	h.top[i] = v
+}
+
+// topMFU returns the current leaderboard. The slice is a copy: the
+// caller may hold it across generations while the leaderboard keeps
+// evolving.
+func (h *history) topMFU() []float64 {
+	return append([]float64(nil), h.top...)
 }
 
 // MegatronTactics returns the paper's four rules.
@@ -87,7 +130,7 @@ func MegatronTactics() []Tactic {
 				}
 				twin := k
 				twin.DistOptimizer = false
-				if r, ok := h.get(twin); ok && !r.OOM && !r.Invalid {
+				if r, ok := h.get(twin); ok && !r.OOM && !r.Invalid && !r.Dominated {
 					return derived{iterTime: r.IterTime, mfu: r.MFU, from: twin}, true
 				}
 				return derived{}, false
@@ -105,7 +148,7 @@ func MegatronTactics() []Tactic {
 				for mult := k.MicroMult - 1; mult >= 1; mult-- {
 					twin := k
 					twin.MicroMult = mult
-					if r, ok := h.get(twin); ok && !r.OOM && !r.Invalid {
+					if r, ok := h.get(twin); ok && !r.OOM && !r.Invalid && !r.Dominated {
 						return derived{iterTime: r.IterTime, mfu: r.MFU, from: twin}, true
 					}
 				}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"maya/internal/trace"
+)
+
+// nopObserver is an observer that records nothing. Its presence
+// disables batched chain dispatch, so runs with it take the
+// one-event-per-op path.
+type nopObserver struct{}
+
+func (nopObserver) OpStart(int, int64, *trace.Op, int64, int64)                        {}
+func (nopObserver) OpEnd(int, int64, *trace.Op, int64, int64)                          {}
+func (nopObserver) CollectiveFired(int, int64, *trace.Op, trace.CollKey, int64, int64) {}
+func (nopObserver) StallBegin(int, int64, StallKind, int64)                            {}
+func (nopObserver) StallEnd(int, int64, StallKind, int64, int64)                       {}
+func (nopObserver) HostDelay(int, int64, int64)                                        {}
+func (nopObserver) Mark(int, string, int64)                                            {}
+
+// chainFixture builds a randomized deadlock-free multi-worker job: a
+// shared program of segments (compute bursts, collectives, event
+// record/wait hops across streams, syncs, marks) with per-rank
+// durations, exercising every op kind the chain batcher must either
+// absorb or break on.
+func chainFixture(t *testing.T, seed int64) *trace.Job {
+	rng := rand.New(rand.NewSource(seed))
+	world := 2 + rng.Intn(3)
+	ws := make([]*trace.Worker, world)
+	for r := range ws {
+		ws[r] = &trace.Worker{Rank: r, World: world, Device: "test"}
+	}
+	dur := func() time.Duration {
+		return time.Duration(17+rng.Intn(997)) * time.Microsecond
+	}
+	collSeq := 0
+	event := int64(0)
+	segments := 12 + rng.Intn(12)
+	for s := 0; s < segments; s++ {
+		switch rng.Intn(6) {
+		case 0, 1: // compute burst: a chainable run of timed ops
+			n := 1 + rng.Intn(8)
+			stream := int64(1 + rng.Intn(2))
+			kinds := []trace.Kind{trace.KindKernel, trace.KindMemcpy, trace.KindMemset}
+			for i := 0; i < n; i++ {
+				kind := kinds[rng.Intn(len(kinds))]
+				for _, w := range ws {
+					w.Append(trace.Op{Kind: kind, Name: "op", Stream: stream, Dur: dur()})
+				}
+			}
+		case 2: // collective on every rank
+			stream := int64(1 + rng.Intn(2))
+			d := dur()
+			for r, w := range ws {
+				w.Append(coll(stream, 42, collSeq, world, r, d))
+			}
+			collSeq++
+		case 3: // event hop: record on stream 1, wait on stream 2
+			event++
+			for _, w := range ws {
+				w.Append(kernel(1, dur()))
+				w.Append(trace.Op{Kind: trace.KindEventRecord, Stream: 1, Event: event, EventVer: 1})
+				w.Append(trace.Op{Kind: trace.KindStreamWait, Stream: 2, Event: event, EventVer: 1})
+				w.Append(kernel(2, dur()))
+			}
+		case 4: // host-side pause then device sync
+			for _, w := range ws {
+				w.Append(hostDelay(dur()))
+				w.Append(trace.Op{Kind: trace.KindDeviceSync})
+			}
+		case 5: // iteration mark
+			for _, w := range ws {
+				w.Append(trace.Op{Kind: trace.KindMark, Name: "iter"})
+			}
+		}
+	}
+	for _, w := range ws {
+		w.Append(trace.Op{Kind: trace.KindDeviceSync})
+	}
+	return job(t, ws...)
+}
+
+// TestChainedDispatchMatchesUnchained pins the batched dispatch fast
+// path to the one-event-per-op semantics: with an observer attached
+// (which disables chaining) and without, every report field must be
+// identical, across randomized traces and with jitter on.
+func TestChainedDispatchMatchesUnchained(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		j := chainFixture(t, seed)
+		chained := mustRun(t, j, Options{})
+		unchained := mustRun(t, j, Options{Observer: nopObserver{}})
+		if !reportsEqual(chained, unchained) {
+			t.Fatalf("seed %d: chained dispatch diverged:\n chained %+v\n unchained %+v",
+				seed, chained, unchained)
+		}
+
+		jopts := Options{JitterFrac: 0.05, Seed: uint64(seed) + 1}
+		jc := mustRun(t, j, jopts)
+		jopts.Observer = nopObserver{}
+		ju := mustRun(t, j, jopts)
+		if !reportsEqual(jc, ju) {
+			t.Fatalf("seed %d: chained dispatch diverged under jitter", seed)
+		}
+	}
+}

@@ -15,6 +15,11 @@ type MarkAt struct {
 
 // Report is the output of a simulation run.
 type Report struct {
+	// Truncated marks a run stopped at Options.TimeLimit before the
+	// trace drained: the report describes the event prefix up to the
+	// horizon (every field is a lower bound on the full run), and the
+	// true makespan is known to exceed the limit.
+	Truncated bool
 	// Makespan is the completion time of the slowest worker.
 	Makespan time.Duration
 	// HostEnd is each worker's host completion time.
@@ -57,7 +62,7 @@ func (e *Engine) buildReport() *Report {
 		if r.HostEnd[i] > r.Makespan {
 			r.Makespan = r.HostEnd[i]
 		}
-		comp, comm, exposed := busyStats(e.intervals[i])
+		comp, comm, exposed := busyStats(e.intervals[i], &e.busy)
 		r.ComputeBusy[i] = comp
 		r.CommBusy[i] = comm
 		r.ExposedComm[i] = exposed
@@ -65,10 +70,21 @@ func (e *Engine) buildReport() *Report {
 	return r
 }
 
+// busyScratch is busyStats's reusable split buffer; a zero value is
+// ready to use, and a non-nil scratch makes repeated calls
+// allocation-free at steady state.
+type busyScratch struct {
+	comps, comms []interval
+}
+
 // busyStats computes union lengths of compute and comm intervals and
-// the exposed (non-overlapped) communication time.
-func busyStats(ivs []interval) (compute, comm, exposed time.Duration) {
-	var comps, comms []interval
+// the exposed (non-overlapped) communication time. The scratch may be
+// nil; its contents are invalidated by the next call.
+func busyStats(ivs []interval, s *busyScratch) (compute, comm, exposed time.Duration) {
+	if s == nil {
+		s = &busyScratch{}
+	}
+	comps, comms := s.comps[:0], s.comms[:0]
 	for _, iv := range ivs {
 		if iv.end <= iv.start {
 			continue
@@ -79,6 +95,7 @@ func busyStats(ivs []interval) (compute, comm, exposed time.Duration) {
 			comps = append(comps, iv)
 		}
 	}
+	s.comps, s.comms = comps, comms
 	compU := unionize(comps)
 	commU := unionize(comms)
 	compute = time.Duration(unionLen(compU))

@@ -32,7 +32,7 @@ func TestBusyStatsExposedComm(t *testing.T) {
 		{start: 0, end: 100},              // compute
 		{start: 50, end: 150, comm: true}, // comm half hidden
 	}
-	comp, comm, exposed := busyStats(ivs)
+	comp, comm, exposed := busyStats(ivs, nil)
 	if comp != 100 || comm != 100 {
 		t.Fatalf("comp/comm = %v/%v", comp, comm)
 	}
@@ -101,7 +101,7 @@ func TestBusyStatsZeroLengthIntervals(t *testing.T) {
 		{start: 0, end: 10},
 		{start: 3, end: 3, comm: true},
 	}
-	comp, comm, exposed := busyStats(ivs)
+	comp, comm, exposed := busyStats(ivs, nil)
 	if comp != 10 || comm != 0 || exposed != 0 {
 		t.Fatalf("comp/comm/exposed = %v/%v/%v, want 10/0/0", comp, comm, exposed)
 	}
@@ -114,7 +114,7 @@ func TestBusyStatsCommOnlyWorker(t *testing.T) {
 		{start: 0, end: 40, comm: true},
 		{start: 10, end: 60, comm: true},
 	}
-	comp, comm, exposed := busyStats(ivs)
+	comp, comm, exposed := busyStats(ivs, nil)
 	if comp != 0 {
 		t.Fatalf("compute = %v, want 0", comp)
 	}
@@ -129,7 +129,7 @@ func TestBusyStatsFullyNestedCommInsideCompute(t *testing.T) {
 		{start: 20, end: 30, comm: true}, // fully hidden
 		{start: 40, end: 50, comm: true}, // fully hidden
 	}
-	comp, comm, exposed := busyStats(ivs)
+	comp, comm, exposed := busyStats(ivs, nil)
 	if comp != 100 || comm != 20 || exposed != 0 {
 		t.Fatalf("comp/comm/exposed = %v/%v/%v, want 100/20/0", comp, comm, exposed)
 	}

@@ -87,6 +87,18 @@ type Options struct {
 	// (physical mode models contention its own way).
 	Congestion *CongestionModel
 
+	// TimeLimit is a simulated-clock horizon: the engine drains events
+	// in deterministic (time, sequence) order and stops the moment the
+	// next event lies strictly beyond the limit, returning a Report
+	// with Truncated set instead of finishing the trace. Zero means no
+	// horizon. Because the event order is a strict total order
+	// independent of heap layout, pooling and goroutine schedule, a
+	// truncated run is exactly reproducible: the same job, annotations
+	// and limit always process the same event prefix. Recipe searches
+	// use this to abandon trials that are provably slower than an
+	// incumbent without simulating them to completion.
+	TimeLimit time.Duration
+
 	// Physical-mode knobs (ground truth only; zero for prediction).
 
 	// JitterFrac is the relative sigma of deterministic log-normal
@@ -299,9 +311,16 @@ type Engine struct {
 
 	intervals [][]interval
 	marks     [][]MarkAt
+	// busy is buildReport's reusable interval-union scratch.
+	busy busyScratch
 
 	rng jitterSource
 	ran bool
+	// chain enables batched dispatch of consecutive timed ops: one
+	// end event per run of kernels/copies instead of one per op. Set
+	// by Reset when nothing can observe or perturb individual ops
+	// (no Observer, no SM contention, no congestion model).
+	chain bool
 }
 
 type jitterSource struct {
@@ -333,10 +352,13 @@ func NewEngine() *Engine {
 	}
 }
 
-// scrub recycles per-run state and drops every reference to caller
+// Scrub recycles per-run state and drops every reference to caller
 // data (the job, its ops, the observer), so a pooled or idle engine
 // never pins a trace in memory. It leaves grown storage — maps keep
-// their buckets, slices their capacity — for the next Reset.
+// their buckets, slices their capacity — for the next Reset. Call it
+// before parking an engine that outlives the job it last simulated.
+func (e *Engine) Scrub() { e.scrub() }
+
 func (e *Engine) scrub() {
 	e.job = nil
 	e.obs = nil
@@ -412,6 +434,8 @@ func (e *Engine) Reset(job *trace.Job, opts Options) {
 	if e.participants == nil {
 		e.participants = trace.Participation(job)
 	}
+
+	e.chain = opts.Observer == nil && opts.CommContention == 0 && opts.Congestion == nil
 
 	e.cong = opts.Congestion
 	if e.cong != nil {
@@ -533,6 +557,7 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 	for i := range e.hosts {
 		e.push(simEvent{t: 0, kind: evHostRun, host: &e.hosts[i]})
 	}
+	limit := int64(e.opts.TimeLimit)
 	var processed int
 	for len(e.pq) > 0 {
 		if processed%ctxCheckEvery == 0 {
@@ -542,6 +567,14 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 		}
 		processed++
 		ev := e.pop()
+		if limit > 0 && ev.t > limit {
+			// Simulated time has crossed the horizon: the event order
+			// is a strict total order, so this cut is bit-identical
+			// for any pooling or goroutine schedule.
+			rep := e.buildReport()
+			rep.Truncated = true
+			return rep, nil
+		}
 		e.now = ev.t
 		switch ev.kind {
 		case evHostRun:
@@ -754,11 +787,35 @@ func (e *Engine) kickStream(st *streamState) {
 			end := start + dur
 			st.head++
 			st.running = true
-			st.freeAt = end
 			st.curOp = op
 			st.curStart, st.curEnd, st.curKernel = start, end, isKernel
 			st.curIval = len(e.intervals[st.w])
 			e.intervals[st.w] = append(e.intervals[st.w], interval{start: start, end: end})
+			if e.chain {
+				// Batched dispatch: consume the whole run of already
+				// enqueued timed ops and schedule a single end event
+				// at the run's end. Event/collective ops still break
+				// the chain, so cross-stream ordering is untouched;
+				// per-op intervals are recorded exactly as the
+				// one-event-per-op path records them.
+				for st.head < len(st.queue) {
+					p := st.queue[st.head]
+					switch p.op.Kind {
+					case trace.KindEventRecord, trace.KindStreamWait, trace.KindCollective:
+					default:
+						s := max(end, p.enq)
+						end = s + e.duration(p.op, st.w)
+						st.head++
+						st.curOp = p.op
+						st.curStart, st.curEnd = s, end
+						st.curKernel = p.op.Kind == trace.KindKernel
+						e.intervals[st.w] = append(e.intervals[st.w], interval{start: s, end: end})
+						continue
+					}
+					break
+				}
+			}
+			st.freeAt = end
 			if e.obs != nil {
 				e.obs.OpStart(st.w, st.id, op, start, end)
 			}

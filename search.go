@@ -3,7 +3,10 @@ package maya
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
+	"maya/internal/core"
 	"maya/internal/framework"
 	"maya/internal/search"
 )
@@ -35,16 +38,24 @@ func MegatronSearchSpace() search.Space { return search.MegatronSpace() }
 // mid-trial-loop: no further trials are issued, and the partial
 // outcome is returned alongside ctx.Err().
 //
-// Trial evaluations are pooled the way batch sweeps are: every
-// capture carries its estimate plan (the first simulate of a trial's
-// capture resolves each unique kernel shape once; re-visited
-// topologies annotate by a single table copy), every replay draws
-// its simulation engine from the process-wide pool and annotates
-// through a pooled duration overlay instead of deep-copying the
-// trace, so a 2000-trial search allocates engine storage a handful
-// of times, not 2000. With WithCaptureCache, trials whose topology
-// was already captured — in this search, a previous search, or a
-// PredictBatch sweep — skip emulation and collation entirely.
+// Trial evaluation is worker-affine: each of the opts.Parallel search
+// workers owns a persistent simulation engine and annotation overlay
+// (core.SimScratch) for the whole search, so trials re-acquire
+// nothing per evaluation. Every capture carries its estimate plan
+// (the first simulate of a trial's capture resolves each unique
+// kernel shape once; re-visited topologies annotate by a single table
+// copy). With WithCaptureCache, trials whose topology was already
+// captured — in this search, a previous search, or a PredictBatch
+// sweep — skip emulation and collation entirely.
+//
+// Two trial classes never pay a full simulation: configurations whose
+// capture carries an OOM verdict return it directly (accounted as
+// Stats.Verdict; opts.DisableVerdictFastPath restores the simulate
+// path for the Fig. 15 ablation), and trials whose simulated clock
+// provably exceeds the generation's domination bound are abandoned
+// mid-simulation (Stats.Dominated; see Options.DominationSlack). Both
+// are deterministic: outcomes are bit-identical for any Parallel
+// value.
 func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts SearchOptions) (*SearchOutcome, error) {
 	if problem.Cluster.Name == "" {
 		problem.Cluster = p.cluster
@@ -58,22 +69,41 @@ func (p *Predictor) FindRecipe(ctx context.Context, problem SearchProblem, opts 
 		return nil, err
 	}
 	flops := problem.Model.TrainFLOPsPerIter(problem.GlobalBatch)
-	eval := func(ctx context.Context, cfg framework.MegatronConfig) (search.EvalResult, error) {
-		w, err := framework.NewMegatron(cfg)
-		if err != nil {
-			return search.EvalResult{}, err
+	var mu sync.Mutex
+	var scratches []*core.SimScratch
+	defer func() {
+		for _, s := range scratches {
+			s.Release()
 		}
-		c, _, err := p.captureFor(ctx, pipe, w, settings)
-		if err != nil {
-			return search.EvalResult{}, err
+	}()
+	factory := func(int) search.Evaluator {
+		scratch := core.AcquireSimScratch()
+		mu.Lock()
+		scratches = append(scratches, scratch)
+		mu.Unlock()
+		return func(ctx context.Context, cfg framework.MegatronConfig, bound time.Duration) (search.EvalResult, error) {
+			w, err := framework.NewMegatron(cfg)
+			if err != nil {
+				return search.EvalResult{}, err
+			}
+			c, _, err := p.captureFor(ctx, pipe, w, settings)
+			if err != nil {
+				return search.EvalResult{}, err
+			}
+			if c.OOM && !opts.DisableVerdictFastPath {
+				return search.EvalResult{OOM: true, PeakMem: c.PeakMemBytes, Verdict: true}, nil
+			}
+			rep, err := pipe.SimulateScratch(ctx, c, flops, BF16, scratch, bound)
+			if err != nil {
+				return search.EvalResult{}, err
+			}
+			if rep.Truncated {
+				return search.EvalResult{Truncated: true, PeakMem: rep.PeakMemBytes}, nil
+			}
+			return search.EvalResult{
+				OOM: rep.OOM, IterTime: rep.IterTime, MFU: rep.MFU, PeakMem: rep.PeakMemBytes,
+			}, nil
 		}
-		rep, err := pipe.Simulate(ctx, c, flops, BF16)
-		if err != nil {
-			return search.EvalResult{}, err
-		}
-		return search.EvalResult{
-			OOM: rep.OOM, IterTime: rep.IterTime, MFU: rep.MFU, PeakMem: rep.PeakMemBytes,
-		}, nil
 	}
-	return search.Run(ctx, problem, eval, opts)
+	return search.RunWorkers(ctx, problem, factory, opts)
 }
