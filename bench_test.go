@@ -29,6 +29,7 @@ import (
 	"maya/internal/emulator"
 	"maya/internal/estimator"
 	"maya/internal/experiments"
+	"maya/internal/faults"
 	"maya/internal/forest"
 	"maya/internal/framework"
 	"maya/internal/hardware"
@@ -97,6 +98,7 @@ func BenchmarkFig16SearchAlgorithms(b *testing.B)  { runExperiment(b, "fig16") }
 func BenchmarkTable10PruningTactics(b *testing.B)  { runExperiment(b, "table10") }
 func BenchmarkFig17StallBreakdown(b *testing.B)    { runExperiment(b, "fig17") }
 func BenchmarkNetsimValidation(b *testing.B)       { runExperiment(b, "netsim") }
+func BenchmarkFig18FaultSweep(b *testing.B)        { runExperiment(b, "fig18") }
 
 // --- Engine micro-benchmarks ---
 
@@ -190,6 +192,43 @@ func BenchmarkSimRunPooled(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(totalOps)/float64(b.Elapsed().Seconds()/float64(b.N))/1e6, "Mops/s")
+}
+
+// BenchmarkFaultsRecovery measures the fault-scenario walk on the
+// annotated 8-worker job: a seeded MTBF failure process over a
+// 100-iteration schedule, one wedge simulation per failure to price
+// survivor idling, checkpoint rewind and redo priced analytically.
+func BenchmarkFaultsRecovery(b *testing.B) {
+	job, _ := simBenchJob(b)
+	run := func(ctx context.Context, inj *sim.Injection, obs sim.Observer) (*sim.Report, error) {
+		o := sim.Options{Faults: inj, Observer: obs}
+		return sim.RunPooled(ctx, job, o)
+	}
+	perturbed, err := run(context.Background(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iter := perturbed.IterTime()
+	plan := &faults.Plan{
+		Seed:            7,
+		CheckpointEvery: 4,
+		CheckpointCost:  iter / 20,
+		MTBF:            20 * iter,
+		Detect:          iter / 2,
+		Restore:         iter / 4,
+		Iterations:      100,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var failures int
+	for i := 0; i < b.N; i++ {
+		rec, err := faults.Evaluate(context.Background(), plan, job, perturbed, run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		failures = len(rec.Failures)
+	}
+	b.ReportMetric(float64(failures), "failures")
 }
 
 // BenchmarkTrainSuite measures full estimator-suite training on the

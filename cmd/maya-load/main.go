@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,10 +67,12 @@ var mixes = map[string][]serve.PredictSpec{
 
 // sample is one completed request.
 type sample struct {
-	latencyMS float64
-	status    int
-	coalesced bool
-	err       error
+	latencyMS  float64
+	status     int
+	coalesced  bool
+	retries    int
+	retryAfter time.Duration // server's Retry-After hint, if any
+	err        error
 }
 
 // summary is the run's JSON report.
@@ -84,6 +88,8 @@ type summary struct {
 	Rejected  int64 `json:"rejected"`
 	Errors    int64 `json:"errors"`
 	Coalesced int64 `json:"coalesced"`
+	Retries   int64 `json:"retries"` // total retry attempts across all requests
+	Retried   int64 `json:"retried"` // requests that needed at least one retry
 
 	ThroughputRPS float64 `json:"throughput_rps"`
 
@@ -105,6 +111,7 @@ func main() {
 		mixName     = flag.String("mix", "smoke", "workload mix: smoke | sweep | coalesce | quickstart")
 		tenants     = flag.String("tenants", "loadgen", "comma-separated tenant names, assigned round-robin")
 		deadline    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		retries     = flag.Int("retries", 3, "max retries per request on 429/503 (0 disables); capped exponential backoff with jitter, honoring Retry-After")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -176,7 +183,7 @@ func main() {
 				}
 				i := next()
 				s := issue(ctx, client, url, bodies[i%int64(len(bodies))],
-					tenantList[i%int64(len(tenantList))])
+					tenantList[i%int64(len(tenantList))], *retries)
 				if ctx.Err() != nil && s.err != nil {
 					return // cut short by the run deadline, not a real failure
 				}
@@ -200,8 +207,28 @@ func main() {
 	}
 }
 
-// issue sends one prediction and classifies the outcome.
-func issue(ctx context.Context, client *http.Client, url string, body []byte, tenant string) sample {
+// issue sends one prediction, retrying throttled (429) and
+// shed (503) answers up to maxRetries times with capped exponential
+// backoff plus jitter, honoring a Retry-After header when the server
+// sets one. The returned sample classifies the final attempt and
+// carries the retry count; latency covers the final attempt only, so
+// quantiles keep measuring the server, not the backoff schedule.
+func issue(ctx context.Context, client *http.Client, url string, body []byte, tenant string, maxRetries int) sample {
+	for attempt := 0; ; attempt++ {
+		s := attemptOne(ctx, client, url, body, tenant)
+		s.retries = attempt
+		if attempt >= maxRetries ||
+			(s.status != http.StatusTooManyRequests && s.status != http.StatusServiceUnavailable) {
+			return s
+		}
+		if !sleepBackoff(ctx, attempt, s.retryAfter) {
+			return s // run deadline hit mid-backoff: report the last answer
+		}
+	}
+}
+
+// attemptOne is a single request/response exchange.
+func attemptOne(ctx context.Context, client *http.Client, url string, body []byte, tenant string) sample {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return sample{err: err}
@@ -220,9 +247,40 @@ func issue(ctx context.Context, client *http.Client, url string, body []byte, te
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	json.Unmarshal(raw, &answer)
 	return sample{
-		latencyMS: msSince(start),
-		status:    resp.StatusCode,
-		coalesced: answer.Coalesced,
+		latencyMS:  msSince(start),
+		status:     resp.StatusCode,
+		coalesced:  answer.Coalesced,
+		retryAfter: retryAfter(resp),
+	}
+}
+
+// retryAfter reads the server's backpressure hint, if any. Only the
+// delay-seconds form is parsed; HTTP dates are rare from limiters.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepBackoff waits out one retry delay: the server's Retry-After if
+// given, else 50ms doubled per attempt and capped at 2s, both with
+// ±25% jitter so synchronized clients desynchronize. Returns false if
+// the run deadline expired first.
+func sleepBackoff(ctx context.Context, attempt int, hint time.Duration) bool {
+	d := hint
+	if d == 0 {
+		d = min(2*time.Second, 50*time.Millisecond<<attempt)
+	}
+	d = d - d/4 + rand.N(d/2)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 
@@ -236,6 +294,10 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 	var sum float64
 	for _, s := range samples {
 		out.Sent++
+		if s.retries > 0 {
+			out.Retries += int64(s.retries)
+			out.Retried++
+		}
 		switch {
 		case s.err != nil:
 			out.Errors++

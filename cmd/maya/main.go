@@ -222,11 +222,16 @@ func runCapture(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("maya capture", flag.ExitOnError)
 	recipe := addRecipeFlags(fs)
 	out := fs.String("o", "job.mtrace", "output trace file")
+	noDedup := fs.Bool("no-dedup", false, "emulate and keep every rank (required for traces simulated with -faults)")
 	fatalIf(fs.Parse(args))
 
 	cluster, w, _ := recipe.build()
 	// Capture never trains estimators: it is pure emulate + collate.
-	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, maya.WithTopology(*recipe.topology))
+	popts := []maya.PredictorOption{maya.WithTopology(*recipe.topology)}
+	if *noDedup {
+		popts = append(popts, maya.WithoutDedup())
+	}
+	pred, err := maya.NewPredictor(cluster, maya.ProfileLLM, popts...)
 	fatalIf(err)
 	tr, err := pred.Capture(ctx, w)
 	fatalIf(err)
@@ -251,6 +256,7 @@ func runSimulate(ctx context.Context, args []string) {
 	topology := addTopologyFlag(fs)
 	congestion := fs.Bool("congestion", false, "resolve collectives against link-level contention (concurrent collectives sharing a fabric link split its bandwidth)")
 	actual := fs.Bool("actual", false, "physical replay with ground truth (MeasureActual equivalent)")
+	faultsPath := fs.String("faults", "", "evaluate the fault scenario in this JSON plan (stragglers, fail-stops, resizes, checkpoint schedule); needs a trace captured with -no-dedup")
 	flops := fs.Float64("flops", 0, "per-iteration model FLOPs (enables MFU)")
 	timeline := fs.String("timeline", "", "write the simulated run as Chrome-trace JSON to this file (chrome://tracing, Perfetto)")
 	breakdown := fs.Bool("breakdown", false, "attribute per-worker stall time (event/collective waits, host-bound, pipeline bubbles)")
@@ -265,6 +271,10 @@ func runSimulate(ctx context.Context, args []string) {
 	}
 	if *netsim && (*oracle || *actual) {
 		fmt.Fprintln(os.Stderr, "maya simulate: -netsim plugs into the learned estimators and cannot combine with -oracle or -actual (those annotate every collective with ground truth)")
+		os.Exit(2)
+	}
+	if *faultsPath != "" && *actual {
+		fmt.Fprintln(os.Stderr, "maya simulate: -faults applies to simulated predictions; -actual models the silicon, not operational faults")
 		os.Exit(2)
 	}
 	f, err := os.Open(*tracePath)
@@ -306,6 +316,14 @@ func runSimulate(ctx context.Context, args []string) {
 	if *congestion {
 		opts = append(opts, maya.WithCongestion())
 	}
+	if *faultsPath != "" {
+		pf, err := os.Open(*faultsPath)
+		fatalIf(err)
+		plan, err := maya.ParseFaultPlan(pf)
+		pf.Close()
+		fatalIf(err)
+		opts = append(opts, maya.WithFaults(plan))
+	}
 	rep, err := pred.Simulate(ctx, tr, opts...)
 	fatalIf(err)
 	writeTimeline(tl, *timeline)
@@ -318,6 +336,35 @@ func runSimulate(ctx context.Context, args []string) {
 	}
 	fmt.Println(rep)
 	printStalls(rep)
+	printRecovery(rep)
+}
+
+// printRecovery renders the fault-scenario evaluation, if present.
+func printRecovery(rep *maya.Report) {
+	r := rep.Recovery
+	if r == nil {
+		return
+	}
+	fmt.Printf("fault scenario (%d iterations, world %d, goodput %.3f):\n", r.Iterations, r.World, r.Goodput)
+	fmt.Printf("  %-18s %14s\n", "clean baseline", r.CleanTime)
+	if r.PerturbedTime != r.CleanTime {
+		fmt.Printf("  %-18s %14s\n", "with stragglers", r.PerturbedTime)
+	}
+	fmt.Printf("  %-18s %14s\n", "total wall", r.TotalTime)
+	if r.CheckpointEvery > 0 {
+		fmt.Printf("  %-18s %14s  (%d writes, every %d iters)\n", "checkpoint cost", r.CheckpointOverhead, r.Checkpoints, r.CheckpointEvery)
+	}
+	if len(r.Failures) > 0 {
+		fmt.Printf("  %-18s %14s  detection %s, restore %s, survivor idle %s\n",
+			"lost work", r.LostWork, r.Detection, r.Restore, r.SurvivorIdle)
+		fmt.Printf("  failures (%d):\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Printf("    rank %-4d at %-14s lost %-12s wedged %d workers\n", f.Rank, f.At, f.LostWork, f.WedgedWorkers)
+		}
+	}
+	for _, rz := range r.Resizes {
+		fmt.Printf("  resize at iter %d: %d -> %d workers, reshard %s\n", rz.AtIteration, rz.OldWorld, rz.NewWorld, rz.Reshard)
+	}
 }
 
 func fatalIf(err error) {

@@ -407,6 +407,14 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 		ClassHinted:    p.ClassHinted,
 	}
 	if c.Job != nil {
+		// A well-formed envelope can still carry a hostile payload:
+		// JSON null decodes into a nil worker, which every consumer of
+		// the job (starting with Participation below) would trip over.
+		for i, w := range c.Job.Workers {
+			if w == nil {
+				return nil, fmt.Errorf("core: %w: null worker at index %d", ErrTraceFormat, i)
+			}
+		}
 		c.Participants = trace.Participation(c.Job)
 	}
 	return c, nil

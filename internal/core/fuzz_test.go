@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"maya/internal/trace"
+)
+
+// fuzzCaptureBytes serializes one structurally complete capture as
+// the seed the mutator works from. Hand-built rather than emulated:
+// every fuzz worker process replays the seed corpus on startup, so
+// the seed must cost microseconds, not an emulation run.
+func fuzzCaptureBytes(f *testing.F) []byte {
+	f.Helper()
+	mk := func(rank int) *trace.Worker {
+		w := &trace.Worker{Rank: rank, Device: "V100", World: 2, PeakBytes: 1 << 20}
+		w.Append(trace.Op{Kind: trace.KindMark, Name: trace.MarkSetupEnd})
+		w.Append(trace.Op{Kind: trace.KindKernel, Stream: 7, Name: "gemm",
+			Dims: []int{64, 64}, FLOPs: 1 << 18, DType: "bf16", Dur: time.Millisecond})
+		w.Append(trace.Op{Kind: trace.KindCollective, Stream: 7,
+			Coll: &trace.Collective{Op: "ncclAllReduce", Bytes: 1 << 16, CommID: 0xc0, NRanks: 2, Rank: rank, Peer: -1},
+			Dur:  time.Millisecond})
+		w.Append(trace.Op{Kind: trace.KindDeviceSync})
+		w.Append(trace.Op{Kind: trace.KindMark, Name: trace.MarkIterEnd})
+		return w
+	}
+	job, err := trace.NewJob([]*trace.Worker{mk(0), mk(1)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c := &Capture{
+		Workload: "fuzz-seed", Cluster: "8xV100", Topology: "auto",
+		TotalWorkers: 2, UniqueWorkers: 2, Job: job,
+		Comms:        map[uint64][]int{0xc0: {0, 1}},
+		CommSizes:    map[uint64]int{0xc0: 2},
+		PeakMemBytes: 1 << 20,
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// envelope wraps raw bytes as a trace payload with a correct header
+// and checksum, so mutations reach the JSON and semantic layers
+// instead of dying on the checksum.
+func envelope(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], TraceFormatVersion)
+	buf.Write(u16[:])
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(len(payload)))
+	buf.Write(u64[:])
+	buf.Write(payload)
+	binary.BigEndian.PutUint64(u64[:], payloadSum(payload))
+	buf.Write(u64[:])
+	return buf.Bytes()
+}
+
+// FuzzReadTrace feeds the trace reader hostile bytes two ways: the
+// raw input as-is (header, length and checksum handling) and wrapped
+// in a valid envelope (JSON payload and semantic validation, e.g.
+// null workers). Whatever arrives, ReadCapture must reject with an
+// error or return a capture consistent enough to re-serialize —
+// never panic, never over-allocate on a crafted length field.
+func FuzzReadTrace(f *testing.F) {
+	valid := fuzzCaptureBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])        // truncated payload
+	f.Add(valid[:len(traceMagic)+2+4]) // truncated header
+	f.Add([]byte{})
+	f.Add([]byte("not a trace"))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0x40 // payload bit flip: checksum must catch it
+	f.Add(corrupt)
+	badver := append([]byte(nil), valid...)
+	badver[len(traceMagic)] ^= 0xff // version bump: ErrTraceVersion
+	f.Add(badver)
+	f.Add(envelope([]byte(`{}`)))
+	f.Add(envelope([]byte(`{"job":{"Workers":[null]}}`)))
+	f.Add(envelope([]byte(`{"total_workers":-1,"job":{"Workers":[]}}`)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, blob := range [][]byte{data, envelope(data)} {
+			c, err := ReadCapture(bytes.NewReader(blob))
+			if err != nil {
+				continue // rejected: fine, as long as it didn't panic
+			}
+			var out bytes.Buffer
+			if _, err := c.WriteTo(&out); err != nil {
+				t.Fatalf("accepted capture fails to re-serialize: %v", err)
+			}
+		}
+	})
+}

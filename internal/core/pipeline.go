@@ -24,6 +24,7 @@ import (
 	"maya/internal/collator"
 	"maya/internal/emulator"
 	"maya/internal/estimator"
+	"maya/internal/faults"
 	"maya/internal/hardware"
 	"maya/internal/netsim"
 	"maya/internal/silicon"
@@ -65,6 +66,12 @@ type Options struct {
 	// Breakdown attaches a stall-attribution observer to the run and
 	// fills Report.Stalls with the per-worker result.
 	Breakdown bool
+	// Faults, when set, perturbs the simulation with the plan's
+	// stragglers and evaluates its failures, resizes and checkpoint
+	// schedule into Report.Recovery. Fault scenarios address world
+	// ranks, so the capture must carry every worker (NoDedup, no
+	// selective launch). Nil costs nothing.
+	Faults *faults.Plan
 }
 
 // StageTimings records the wall-clock cost of each pipeline stage
@@ -115,6 +122,12 @@ type Report struct {
 	// bubbles). Populated only when the run requested a breakdown
 	// (Options.Breakdown / maya.WithStallBreakdown); nil otherwise.
 	Stalls *StallProfile
+
+	// Recovery is the fault-scenario evaluation (goodput, lost work,
+	// detection/restore/redo time). Populated only when the run
+	// carried a fault plan (Options.Faults / maya.WithFaults); nil
+	// otherwise.
+	Recovery *sim.RecoveryReport
 }
 
 // WorkerStall is one worker's stall attribution.
@@ -330,6 +343,19 @@ func (p *Pipeline) SimulateScratch(ctx context.Context, c *Capture, modelFLOPs f
 	if p.Opts.Congestion != nil {
 		simOpts.Congestion = c.congestionFor(p.Opts.Congestion)
 	}
+	if p.Opts.Faults != nil {
+		// Fault plans address world ranks: a deduplicated or
+		// selectively launched capture is missing potential victims.
+		if len(job.Workers) != c.TotalWorkers {
+			return nil, fmt.Errorf("core: fault scenarios need every rank simulated, capture of %s has %d of %d workers (capture with dedup disabled)",
+				c.Workload, len(job.Workers), c.TotalWorkers)
+		}
+		inj, ferr := p.Opts.Faults.Injection(job)
+		if ferr != nil {
+			return nil, ferr
+		}
+		simOpts.Faults = inj
+	}
 	var sr *sim.Report
 	if scratch != nil {
 		scratch.engine.Reset(job, simOpts)
@@ -339,6 +365,28 @@ func (p *Pipeline) SimulateScratch(ctx context.Context, c *Capture, modelFLOPs f
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: simulating %s: %w", c.Workload, err)
+	}
+	if p.Opts.Faults != nil && !sr.Truncated {
+		// The main run above is the straggler-perturbed baseline; the
+		// walk re-runs the job per failure (and once cleanly when
+		// stragglers skew the baseline), reusing this call's engine
+		// strategy. Per-run observers are Evaluate's own — the
+		// caller's observer saw exactly one run, the main one.
+		runner := func(rctx context.Context, inj *sim.Injection, robs sim.Observer) (*sim.Report, error) {
+			o := simOpts
+			o.Faults = inj
+			o.Observer = robs
+			if scratch != nil {
+				scratch.engine.Reset(job, o)
+				return scratch.engine.Run(rctx)
+			}
+			return sim.RunPooled(rctx, job, o)
+		}
+		rec, ferr := faults.Evaluate(ctx, p.Opts.Faults, job, sr, runner)
+		if ferr != nil {
+			return nil, fmt.Errorf("core: fault scenario for %s: %w", c.Workload, ferr)
+		}
+		rep.Recovery = rec
 	}
 	rep.Stages.Simulate = time.Since(t0)
 

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"time"
+
+	"maya/internal/sim"
 )
 
 // The JSON shape of Report is a stable contract for external tooling
@@ -101,6 +103,11 @@ type reportJSON struct {
 	TotalWorkers  int          `json:"total_workers"`
 
 	Stalls []workerStallJSON `json:"stalls,omitempty"`
+
+	// Recovery serializes through sim.RecoveryReport's own tags:
+	// time.Duration fields are raw nanosecond integers, so the block
+	// round-trips exactly.
+	Recovery *sim.RecoveryReport `json:"recovery,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -145,6 +152,7 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		UniqueWorkers: r.UniqueWorkers,
 		TotalWorkers:  r.TotalWorkers,
 		Stalls:        stalls,
+		Recovery:      r.Recovery,
 	})
 }
 
@@ -167,6 +175,7 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Stages:        j.Stages,
 		UniqueWorkers: j.UniqueWorkers,
 		TotalWorkers:  j.TotalWorkers,
+		Recovery:      j.Recovery,
 	}
 	if len(j.Stalls) > 0 {
 		prof := &StallProfile{Workers: make([]WorkerStall, len(j.Stalls))}

@@ -10,7 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"fig14", "fig15", "fig16", "fig17",
+		"fig14", "fig15", "fig16", "fig17", "fig18",
 		"table1", "table2", "table3", "table4", "table6", "table7", "table8",
 		"table9", "table10", "netsim",
 	}

@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"maya/internal/sim"
+	"maya/internal/trace"
+)
+
+// Observer watches a fail-stop engine run and records, per worker,
+// the collective stall that never resolved — the instant the worker
+// wedged on the dead rank. Evaluate prices survivor idle time from
+// these frontiers. One Observer serves one run; it is not safe for
+// concurrent runs (each engine run gets its own).
+type Observer struct {
+	// open maps (worker, stream) to the begin time of an unresolved
+	// collective stall. A stream holds at most one collective stall
+	// at a time, so matching is exact.
+	open map[stallKey]int64
+}
+
+type stallKey struct {
+	w      int
+	stream int64
+}
+
+// NewObserver returns an Observer ready to attach to one run.
+func NewObserver() *Observer {
+	return &Observer{open: make(map[stallKey]int64)}
+}
+
+// Wedged returns the earliest unresolved collective-stall begin for
+// worker w, if any. The minimum over streams is order-independent,
+// so the result is deterministic despite map storage.
+func (o *Observer) Wedged(w int) (int64, bool) {
+	var at int64
+	found := false
+	for k, t := range o.open {
+		if k.w != w {
+			continue
+		}
+		if !found || t < at {
+			at, found = t, true
+		}
+	}
+	return at, found
+}
+
+func (o *Observer) StallBegin(w int, stream int64, kind sim.StallKind, at int64) {
+	if kind == sim.StallCollective {
+		o.open[stallKey{w, stream}] = at
+	}
+}
+
+func (o *Observer) StallEnd(w int, stream int64, kind sim.StallKind, begin, end int64) {
+	if kind == sim.StallCollective {
+		delete(o.open, stallKey{w, stream})
+	}
+}
+
+func (o *Observer) OpStart(w int, stream int64, op *trace.Op, start, end int64) {}
+func (o *Observer) OpEnd(w int, stream int64, op *trace.Op, start, end int64)   {}
+func (o *Observer) CollectiveFired(w int, stream int64, op *trace.Op, key trace.CollKey, start, end int64) {
+}
+func (o *Observer) HostDelay(w int, start, end int64)  {}
+func (o *Observer) Mark(w int, label string, at int64) {}

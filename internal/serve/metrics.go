@@ -123,6 +123,11 @@ type Metrics struct {
 	TraceUploads atomic.Int64
 	TraceServes  atomic.Int64
 
+	// Panics counts prediction executions recovered from a panic and
+	// answered as 500s: the serving layer turns a crashing predictor
+	// into an error instead of a dead process.
+	Panics atomic.Int64
+
 	// InFlight gauges requests admitted and not yet answered.
 	InFlight atomic.Int64
 

@@ -426,8 +426,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res.status, res)
 }
 
-// predictOne runs one spec through coalesce → pool → predict.
-func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) PredictResult {
+// recovered converts a recovered prediction panic into an error,
+// counting it in maya_panics_total.
+func (s *Server) recovered(v any) error {
+	s.metrics.Panics.Add(1)
+	return fmt.Errorf("internal error: prediction panicked: %v", v)
+}
+
+// predictOne runs one spec through coalesce → pool → predict. Panics
+// are recovered into 500s at two layers: inside the pool closure, so
+// a crashing leader still completes its coalescing flight (followers
+// get the error instead of waiting on a flight that never finishes),
+// and around the whole path, because batch items run on their own
+// goroutines where an unrecovered panic kills the process.
+func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) (res PredictResult) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = PredictResult{Error: s.recovered(v).Error(), status: http.StatusInternalServerError}
+		}
+	}()
 	s.metrics.Predictions.Add(1)
 	w, opts, err := spec.build(s.cfg.Cluster)
 	if err != nil {
@@ -439,6 +456,11 @@ func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) PredictResul
 		var perr error
 		queued := time.Now()
 		runErr := s.pool.Run(ctx, func() {
+			defer func() {
+				if v := recover(); v != nil {
+					perr = s.recovered(v)
+				}
+			}()
 			o.queueWaitMS = float64(time.Since(queued).Nanoseconds()) / 1e6
 			s.metrics.QueueWait.observe(o.queueWaitMS)
 			if s.testGate != nil {
@@ -521,6 +543,11 @@ func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
 		capOpts = append(capOpts, maya.WithSeed(spec.Seed))
 	}
 	if runErr := s.pool.Run(ctx, func() {
+		defer func() {
+			if v := recover(); v != nil {
+				capErr = s.recovered(v)
+			}
+		}()
 		tr, capErr = s.pred.Capture(ctx, wl, capOpts...)
 	}); runErr != nil {
 		capErr = runErr
@@ -666,6 +693,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("maya_serve_rejected_total", m.Rejected.Load())
 	counter("maya_serve_deadline_total", m.Deadline.Load())
 	counter("maya_serve_failed_total", m.Failed.Load())
+	counter("maya_panics_total", m.Panics.Load())
 	counter("maya_serve_predictions_total", m.Predictions.Load())
 	counter("maya_serve_predictions_executed_total", m.Executed.Load())
 	counter("maya_serve_predictions_coalesced_total", m.Coalesced.Load())

@@ -1,0 +1,97 @@
+package sim
+
+import "time"
+
+// RecoveryReport summarizes a fault scenario's cost against the
+// fault-free baseline: how much work was lost, where the wall-clock
+// time went (detection, restore, redo, checkpoint writes, re-shard),
+// and the resulting goodput. Built by faults.Evaluate from perturbed
+// engine runs; attached to core reports and serialized alongside
+// them.
+//
+// JSON uses integer nanosecond fields as the authoritative values, so
+// a report round-trips bit-exactly — the determinism bar extends to
+// the serialized form.
+type RecoveryReport struct {
+	// World is the initial world size (workers at iteration 0).
+	World int `json:"world"`
+	// Iterations is the number of training iterations accounted for.
+	Iterations int `json:"iterations"`
+	// CheckpointEvery is the checkpoint interval in iterations; 0
+	// means no checkpointing (a failure loses everything since
+	// setup).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Checkpoints is the number of checkpoint writes that committed.
+	Checkpoints int `json:"checkpoints,omitempty"`
+
+	// CheckpointOverhead is total wall time spent writing checkpoints.
+	CheckpointOverhead time.Duration `json:"checkpoint_overhead_ns,omitempty"`
+	// CleanTime is the fault-free baseline wall time for the same
+	// iterations (no stragglers, no failures, no checkpoint cost).
+	CleanTime time.Duration `json:"clean_time_ns"`
+	// PerturbedTime is the wall time with stragglers applied but no
+	// failures, resizes or checkpoint cost — the slowdown floor.
+	PerturbedTime time.Duration `json:"perturbed_time_ns"`
+	// TotalTime is the end-to-end wall time of the full scenario.
+	TotalTime time.Duration `json:"total_time_ns"`
+	// LostWork is progress discarded by rewinds: for each failure,
+	// the wall time since its last committed checkpoint.
+	LostWork time.Duration `json:"lost_work_ns,omitempty"`
+	// Detection is total time from each death until survivors give up.
+	Detection time.Duration `json:"detection_ns,omitempty"`
+	// Restore is total time restoring checkpoints after failures.
+	Restore time.Duration `json:"restore_ns,omitempty"`
+	// Redo is total time re-executing lost iterations; equals
+	// LostWork when redo runs at the same rate work was first done.
+	Redo time.Duration `json:"redo_ns,omitempty"`
+	// Reshard is total re-shard cost paid at elastic resizes.
+	Reshard time.Duration `json:"reshard_ns,omitempty"`
+	// SurvivorIdle is GPU time wasted across surviving workers while
+	// wedged on a dead rank's collectives (from death to detection),
+	// summed over failures.
+	SurvivorIdle time.Duration `json:"survivor_idle_ns,omitempty"`
+
+	// Goodput is CleanTime / TotalTime: the fraction of the wall
+	// clock that produced useful progress at fault-free speed. 1.0
+	// for a fault-free run; lower under stragglers, failures and
+	// resize overhead.
+	Goodput float64 `json:"goodput"`
+
+	// Failures records each fail-stop recovery in occurrence order.
+	Failures []FailureRecovery `json:"failures,omitempty"`
+	// Resizes records each elastic resize in occurrence order.
+	Resizes []ResizeRecovery `json:"resizes,omitempty"`
+}
+
+// FailureRecovery is one fail-stop event and its recovery accounting.
+type FailureRecovery struct {
+	// Rank is the world rank that died.
+	Rank int `json:"rank"`
+	// At is the scenario wall-clock time of death.
+	At time.Duration `json:"at_ns"`
+	// TraceAt is the simulated trace time the death maps to — the
+	// instant injected into the engine run that measured the wedge.
+	TraceAt time.Duration `json:"trace_at_ns"`
+	// Detection is the stall-to-timeout window survivors waited.
+	Detection time.Duration `json:"detection_ns"`
+	// Restore is the checkpoint restore time for this failure.
+	Restore time.Duration `json:"restore_ns"`
+	// LostWork is wall-clock progress discarded by this rewind.
+	LostWork time.Duration `json:"lost_work_ns"`
+	// SurvivorIdle is wasted survivor GPU time for this failure.
+	SurvivorIdle time.Duration `json:"survivor_idle_ns"`
+	// WedgedWorkers is how many surviving workers stalled on the
+	// dead rank's collectives before detection fired.
+	WedgedWorkers int `json:"wedged_workers"`
+}
+
+// ResizeRecovery is one elastic resize and its cost.
+type ResizeRecovery struct {
+	// AtIteration is the iteration boundary the resize took effect.
+	AtIteration int `json:"at_iteration"`
+	// OldWorld and NewWorld are the world sizes before and after.
+	OldWorld int `json:"old_world"`
+	NewWorld int `json:"new_world"`
+	// Reshard is the one-time state redistribution cost paid.
+	Reshard time.Duration `json:"reshard_ns"`
+}

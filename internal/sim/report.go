@@ -20,6 +20,10 @@ type Report struct {
 	// horizon (every field is a lower bound on the full run), and the
 	// true makespan is known to exceed the limit.
 	Truncated bool
+	// Halted marks a fail-stop run that wedged: the injected worker
+	// froze and survivors stalled on its collectives until the event
+	// heap drained. HostEnd holds each worker's stall frontier.
+	Halted bool
 	// Makespan is the completion time of the slowest worker.
 	Makespan time.Duration
 	// HostEnd is each worker's host completion time.

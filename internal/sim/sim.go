@@ -99,6 +99,14 @@ type Options struct {
 	// incumbent without simulating them to completion.
 	TimeLimit time.Duration
 
+	// Faults, when non-nil, perturbs the run with the compiled fault
+	// scenario (stragglers, fail-stop): see faults.go. Nil injects
+	// nothing and costs nothing on the hot path. Injections are pure
+	// functions of (worker, simulated time), so perturbed runs keep
+	// the engine's bit-identical determinism across reruns, pooling
+	// and caller concurrency.
+	Faults *Injection
+
 	// Physical-mode knobs (ground truth only; zero for prediction).
 
 	// JitterFrac is the relative sigma of deterministic log-normal
@@ -316,6 +324,8 @@ type Engine struct {
 
 	rng jitterSource
 	ran bool
+	// inj is the bound fault injection; nil on the fault-free path.
+	inj *Injection
 	// chain enables batched dispatch of consecutive timed ops: one
 	// end event per run of kernels/copies instead of one per op. Set
 	// by Reset when nothing can observe or perturb individual ops
@@ -393,6 +403,7 @@ func (e *Engine) scrub() {
 	}
 	clear(e.colls)
 	e.cong = nil
+	e.inj = nil
 	for _, f := range e.flows {
 		if f.group != nil {
 			e.recycleColl(f.group)
@@ -435,7 +446,9 @@ func (e *Engine) Reset(job *trace.Job, opts Options) {
 		e.participants = trace.Participation(job)
 	}
 
-	e.chain = opts.Observer == nil && opts.CommContention == 0 && opts.Congestion == nil
+	e.chain = opts.Observer == nil && opts.CommContention == 0 && opts.Congestion == nil &&
+		opts.Faults == nil
+	e.inj = opts.Faults
 
 	e.cong = opts.Congestion
 	if e.cong != nil {
@@ -594,6 +607,14 @@ func (e *Engine) Run(ctx context.Context) (*Report, error) {
 	for i := range e.hosts {
 		h := &e.hosts[i]
 		if !h.done {
+			if e.inj != nil && e.inj.FailStop != nil {
+				// The wedge is the injected scenario, not a trace bug:
+				// the dead worker froze and the survivors stalled on
+				// its collectives. Report the stall frontier.
+				rep := e.buildReport()
+				rep.Halted = true
+				return rep, nil
+			}
 			return nil, e.deadlockError(h)
 		}
 	}
@@ -651,6 +672,12 @@ func (e *Engine) runHost(h *hostState) {
 		return
 	}
 	for h.pos < len(h.ops) {
+		if e.inj != nil && e.inj.dead(h.w, h.t) {
+			// Fail-stop: the host thread freezes mid-trace — not done,
+			// so the drained heap reports Halted rather than a clean
+			// finish.
+			return
+		}
 		op := &h.ops[h.pos]
 		switch op.Kind {
 		case trace.KindHostDelay:
@@ -742,6 +769,12 @@ func (e *Engine) kickStream(st *streamState) {
 		p := st.queue[st.head]
 		op := p.op
 		start := max(st.freeAt, p.enq)
+		if e.inj != nil && e.inj.dead(st.w, start) {
+			// The device stops starting work at the instant of death:
+			// no event completions, no collective joins, no timed ops.
+			// In-flight work was already scheduled and completes.
+			return
+		}
 		switch op.Kind {
 		case trace.KindEventRecord:
 			st.head++
@@ -779,7 +812,7 @@ func (e *Engine) kickStream(st *streamState) {
 			return
 		default:
 			// Timed device work: kernel, memcpy, memset.
-			dur := e.duration(op, st.w)
+			dur := e.duration(op, st.w, start)
 			isKernel := op.Kind == trace.KindKernel
 			if isKernel && e.opts.CommContention > 0 {
 				dur += e.contentionExtra(st.w, start, dur)
@@ -804,7 +837,7 @@ func (e *Engine) kickStream(st *streamState) {
 					case trace.KindEventRecord, trace.KindStreamWait, trace.KindCollective:
 					default:
 						s := max(end, p.enq)
-						end = s + e.duration(p.op, st.w)
+						end = s + e.duration(p.op, st.w, s)
 						st.head++
 						st.curOp = p.op
 						st.curStart, st.curEnd = s, end
@@ -847,11 +880,16 @@ func (e *Engine) opDur(w int, op *trace.Op) int64 {
 	return int64(op.Dur)
 }
 
-// duration applies jitter to an op's annotated time.
-func (e *Engine) duration(op *trace.Op, w int) int64 {
+// duration applies fault stretch and jitter to an op's annotated
+// time. start is the op's device start time, which straggler windows
+// match against.
+func (e *Engine) duration(op *trace.Op, w int, start int64) int64 {
 	d := e.opDur(w, op)
 	if d < 0 {
 		d = 0
+	}
+	if e.inj != nil {
+		d = e.inj.stretch(w, start, d)
 	}
 	if e.opts.JitterFrac > 0 {
 		d = int64(float64(d) * e.rng.factor(int64(w), int64(op.Seq)))

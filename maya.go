@@ -35,6 +35,7 @@ import (
 
 	"maya/internal/core"
 	"maya/internal/estimator"
+	"maya/internal/faults"
 	"maya/internal/framework"
 	"maya/internal/hardware"
 	"maya/internal/models"
@@ -181,6 +182,8 @@ type predictorConfig struct {
 	netsim     bool
 	congestion bool
 	topology   string
+	ckptEvery  int
+	ckptSet    bool
 }
 
 // PredictorOption customizes Predictor construction. Options that
@@ -307,6 +310,15 @@ func NewPredictor(cluster Cluster, kind ProfileKind, opts ...PredictorOption) (*
 		return nil, fmt.Errorf("maya: %w", err)
 	}
 	cfg.opts.Topology = cfg.topology
+	if cfg.ckptSet {
+		cfg.opts.Faults = mergeCheckpoint(cfg.opts.Faults, cfg.ckptEvery)
+	}
+	if cfg.opts.Faults != nil {
+		if err := cfg.opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("maya: %w", err)
+		}
+		cfg.opts.NoDedup = true
+	}
 	return &Predictor{
 		cluster:    cluster,
 		kind:       kind,
@@ -389,6 +401,10 @@ type predictSettings struct {
 	congestion *bool
 	seed       *uint64
 	validate   *bool
+	faults     *faults.Plan
+	faultsSet  bool
+	ckptEvery  int
+	ckptSet    bool
 }
 
 // PredictOption customizes one Predict, MeasureActual, Capture,
@@ -520,7 +536,43 @@ func (p *Predictor) capturePipeline(s predictSettings) *core.Pipeline {
 	if s.seed != nil {
 		opts.Seed = *s.seed
 	}
+	opts.Faults = resolveFaultPlan(opts.Faults, s)
+	if opts.Faults != nil {
+		// Fault plans address world ranks: captures taken for this
+		// call must carry every worker.
+		opts.NoDedup = true
+	}
 	return &core.Pipeline{Cluster: p.cluster, Opts: opts}
+}
+
+// resolveFaultPlan folds the per-call fault options over the
+// predictor default: WithFaults replaces the plan, WithCheckpointEvery
+// overrides (or introduces) its checkpoint interval on a copy, so
+// the caller's plan and the predictor default stay unmutated.
+func resolveFaultPlan(def *faults.Plan, s predictSettings) *faults.Plan {
+	plan := def
+	if s.faultsSet {
+		plan = s.faults
+	}
+	if !s.ckptSet {
+		return plan
+	}
+	return mergeCheckpoint(plan, s.ckptEvery)
+}
+
+// mergeCheckpoint returns plan with its checkpoint interval set to k
+// (k <= 0 disables checkpointing), minting a checkpoint-only plan
+// when there is none yet.
+func mergeCheckpoint(plan *faults.Plan, k int) *faults.Plan {
+	if plan == nil {
+		if k <= 0 {
+			return nil
+		}
+		return &faults.Plan{CheckpointEvery: k}
+	}
+	cp := *plan
+	cp.CheckpointEvery = max(k, 0)
+	return &cp
 }
 
 // pipelineFor builds the full per-call pipeline view: shared cluster
@@ -542,6 +594,9 @@ func (p *Predictor) pipelineFor(ctx context.Context, s predictSettings) (*core.P
 		// Physical replay models contention through the silicon; the
 		// link-sharing model applies to simulated predictions only.
 		pipe.Opts.Congestion = p.netModel
+	}
+	if pipe.Opts.Faults != nil && s.physical {
+		return nil, errors.New("maya: fault scenarios apply to simulated predictions only; physical replay models the silicon, not operational faults")
 	}
 	if !s.oracle && !s.physical {
 		suite, err := p.resolveSuite(ctx, s)
