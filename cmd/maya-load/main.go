@@ -16,20 +16,32 @@
 //	         coalescing (watch coalesced in the summary)
 //	quickstart the README's GPT-3 18.4B recipe, learned annotation —
 //	         requires a warmed server
+//	chaos    two oracle variants sharing the degrade-cache working
+//	         set — pair with -deadline and a chaos-injected server
 //
-// The process exits non-zero if no request succeeded, so CI can
-// assert liveness with the exit code alone.
+// Under a fault-injecting server the summary separates the outcome
+// classes that matter for resilience: shed (429 with X-Maya-Shed),
+// degraded (stale 200 with "degraded": true), and wedged (client
+// timeouts — requests the server neither answered nor refused).
+// -report writes the summary plus a per-second outcome timeline and a
+// recovery-time estimate as JSON (the CI chaos smoke's
+// BENCH_resilience.json).
+//
+// The process exits non-zero if no request produced an answer — fresh
+// or degraded — so CI can assert liveness with the exit code alone.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand/v2"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -63,13 +75,23 @@ var mixes = map[string][]serve.PredictSpec{
 		{Model: "gpt3-18.4b", GlobalBatch: 256, TP: 2, PP: 4, MicroBatches: 8,
 			SeqParallel: true, ActRecompute: true, DistOptimizer: true, Annotation: "learned"},
 	},
+	// Two identities, both cacheable after one healthy answer: during
+	// an injected outage every request has stale cover, so the run
+	// measures degradation rather than a wall of 503s.
+	"chaos": {
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 2, Annotation: "oracle"},
+		{Model: "gpt3-1.3b", GlobalBatch: 16, TP: 2, PP: 2, MicroBatches: 4, Annotation: "oracle"},
+	},
 }
 
 // sample is one completed request.
 type sample struct {
+	at         time.Time // completion time, for the outcome timeline
 	latencyMS  float64
 	status     int
 	coalesced  bool
+	degraded   bool   // body carried "degraded": true (stale answer)
+	shed       string // X-Maya-Shed verdict, if the server shed it
 	retries    int
 	retryAfter time.Duration // server's Retry-After hint, if any
 	err        error
@@ -83,9 +105,12 @@ type summary struct {
 	DurationS   float64 `json:"duration_s"`
 
 	Sent      int64 `json:"sent"`
-	OK        int64 `json:"ok"`
+	OK        int64 `json:"ok"`       // fresh 200s
+	Degraded  int64 `json:"degraded"` // stale 200s ("degraded": true)
+	Shed      int64 `json:"shed"`     // refused with an X-Maya-Shed verdict
 	Throttled int64 `json:"throttled"`
 	Rejected  int64 `json:"rejected"`
+	Wedged    int64 `json:"wedged"` // client timeouts: neither answered nor refused
 	Errors    int64 `json:"errors"`
 	Coalesced int64 `json:"coalesced"`
 	Retries   int64 `json:"retries"` // total retry attempts across all requests
@@ -102,16 +127,40 @@ type summary struct {
 	} `json:"latency_ms"`
 }
 
+// timelineBucket is one second of the run, by outcome class.
+type timelineBucket struct {
+	StartMS  int64 `json:"start_ms"`
+	OK       int64 `json:"ok"`
+	Degraded int64 `json:"degraded"`
+	Shed     int64 `json:"shed"`
+	Rejected int64 `json:"rejected"` // throttled + unavailable, not shed
+	Failed   int64 `json:"failed"`   // wedged + transport/server errors
+}
+
+// resilienceReport is the -report file: the run summary plus the
+// per-second outcome timeline and a recovery-time estimate.
+type resilienceReport struct {
+	summary
+	Timeline []timelineBucket `json:"timeline"`
+	// RecoveryMS estimates, from the client's vantage, how long after
+	// the last impacted second the service took to produce a fresh
+	// answer again: 0 when nothing was impacted, -1 when it never
+	// recovered within the run.
+	RecoveryMS int64 `json:"recovery_ms"`
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", "http://127.0.0.1:8080", "maya-serve base URL")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		concurrency = flag.Int("concurrency", 8, "concurrent closed-loop clients")
 		rps         = flag.Float64("rps", 0, "target aggregate request rate (0 = unpaced closed loop)")
-		mixName     = flag.String("mix", "smoke", "workload mix: smoke | sweep | coalesce | quickstart")
+		mixName     = flag.String("mix", "smoke", "workload mix: smoke | sweep | coalesce | quickstart | chaos")
 		tenants     = flag.String("tenants", "loadgen", "comma-separated tenant names, assigned round-robin")
-		deadline    = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		reqDeadline = flag.Duration("deadline", 0, "server-side deadline_ms attached to every request (0 = server default); lets the server shed doomed work early")
 		retries     = flag.Int("retries", 3, "max retries per request on 429/503 (0 disables); capped exponential backoff with jitter, honoring Retry-After")
+		reportPath  = flag.String("report", "", "write the summary plus per-second outcome timeline as JSON to this path")
 		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -122,13 +171,17 @@ func main() {
 
 	mix, ok := mixes[*mixName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "maya-load: unknown mix %q (have smoke, sweep, coalesce, quickstart)\n", *mixName)
+		fmt.Fprintf(os.Stderr, "maya-load: unknown mix %q (have smoke, sweep, coalesce, quickstart, chaos)\n", *mixName)
 		os.Exit(2)
 	}
 	tenantList := strings.Split(*tenants, ",")
 	bodies := make([][]byte, len(mix))
 	for i := range mix {
-		b, err := json.Marshal(mix[i])
+		spec := mix[i]
+		if *reqDeadline > 0 {
+			spec.DeadlineMS = reqDeadline.Milliseconds()
+		}
+		b, err := json.Marshal(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "maya-load:", err)
 			os.Exit(1)
@@ -148,7 +201,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
-	client := &http.Client{Timeout: *deadline}
+	client := &http.Client{Timeout: *timeout}
 	base := strings.TrimRight(*addr, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base // bare host:port is fine
@@ -201,8 +254,22 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(out)
-	if out.OK == 0 {
-		fmt.Fprintln(os.Stderr, "maya-load: no request succeeded")
+	if *reportPath != "" {
+		rep := resilienceReport{summary: out}
+		rep.Timeline, rep.RecoveryMS = timeline(samples, start)
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*reportPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maya-load: writing report:", err)
+			os.Exit(1)
+		}
+	}
+	// Degraded answers are answers: under injected faults the run is
+	// alive as long as the service kept responding from stale state.
+	if out.OK == 0 && out.Degraded == 0 {
+		fmt.Fprintln(os.Stderr, "maya-load: no request produced an answer")
 		os.Exit(1)
 	}
 }
@@ -238,18 +305,22 @@ func attemptOne(ctx context.Context, client *http.Client, url string, body []byt
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return sample{err: err, latencyMS: msSince(start)}
+		return sample{err: err, latencyMS: msSince(start), at: time.Now()}
 	}
 	defer resp.Body.Close()
 	var answer struct {
 		Coalesced bool `json:"coalesced"`
+		Degraded  bool `json:"degraded"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	json.Unmarshal(raw, &answer)
 	return sample{
+		at:         time.Now(),
 		latencyMS:  msSince(start),
 		status:     resp.StatusCode,
 		coalesced:  answer.Coalesced,
+		degraded:   answer.Degraded,
+		shed:       resp.Header.Get("X-Maya-Shed"),
 		retryAfter: retryAfter(resp),
 	}
 }
@@ -298,11 +369,22 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 			out.Retries += int64(s.retries)
 			out.Retried++
 		}
+		if s.shed != "" {
+			out.Shed++
+		}
 		switch {
 		case s.err != nil:
-			out.Errors++
+			if isTimeout(s.err) {
+				out.Wedged++
+			} else {
+				out.Errors++
+			}
 		case s.status == http.StatusOK:
-			out.OK++
+			if s.degraded {
+				out.Degraded++
+			} else {
+				out.OK++
+			}
 			oks = append(oks, s.latencyMS)
 			sum += s.latencyMS
 			if s.coalesced {
@@ -328,6 +410,71 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 		out.LatencyMS.Mean = sum / float64(len(oks))
 	}
 	return out
+}
+
+// isTimeout reports whether a transport error is a timeout — the
+// wedged class: the server neither answered nor refused before the
+// client gave up.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// timeline folds the samples into per-second outcome buckets and
+// estimates recovery time: the gap between the end of the last
+// impacted second and the first subsequent second with a fresh
+// answer. 0 when no second was impacted, -1 when the run ended before
+// a fresh answer returned.
+func timeline(samples []sample, start time.Time) ([]timelineBucket, int64) {
+	const bucketMS = 1000
+	var tl []timelineBucket
+	for _, s := range samples {
+		if s.at.IsZero() {
+			continue
+		}
+		i := int(s.at.Sub(start).Milliseconds() / bucketMS)
+		if i < 0 {
+			i = 0
+		}
+		for len(tl) <= i {
+			tl = append(tl, timelineBucket{StartMS: int64(len(tl)) * bucketMS})
+		}
+		b := &tl[i]
+		switch {
+		case s.err != nil:
+			b.Failed++
+		case s.status == http.StatusOK && s.degraded:
+			b.Degraded++
+		case s.status == http.StatusOK:
+			b.OK++
+		case s.shed != "":
+			b.Shed++
+		case s.status == http.StatusTooManyRequests || s.status == http.StatusServiceUnavailable:
+			b.Rejected++
+		default:
+			b.Failed++
+		}
+	}
+	// Impact means fault signals — degraded, shed, failed. Plain
+	// throttles and queue-full rejections happen under healthy
+	// saturation too and would make the estimate read "never
+	// recovered" from one stray 503.
+	lastImpact := -1
+	for i, b := range tl {
+		if b.Degraded+b.Shed+b.Failed > 0 {
+			lastImpact = i
+		}
+	}
+	if lastImpact == -1 {
+		return tl, 0
+	}
+	impactEnd := tl[lastImpact].StartMS + bucketMS
+	for i := lastImpact + 1; i < len(tl); i++ {
+		if tl[i].OK > 0 {
+			return tl, tl[i].StartMS - impactEnd
+		}
+	}
+	return tl, -1
 }
 
 // quantile reads the q-th quantile from sorted samples.

@@ -18,8 +18,21 @@
 //
 // SIGTERM (or Ctrl-C) drains gracefully: new requests get 503,
 // /healthz flips to "draining" so balancers stop routing, in-flight
-// predictions finish, then the listener closes and the process exits
-// zero.
+// predictions finish, the trace store is snapshotted, then the
+// listener closes and the process exits zero.
+//
+// Resilience knobs: -shed-target/-shed-interval shape CoDel-style
+// overload shedding, -breaker-threshold/-breaker-probe the
+// per-dependency circuit breakers, -degrade-cache the stale-result
+// cache served (marked `"degraded": true`) while shedding or with a
+// breaker open. -state persists the trace store across restarts
+// (atomic snapshots, per-entry checksum validation at boot). -chaos
+// loads a seeded fault-injection plan — the deterministic chaos
+// harness used by the CI chaos smoke:
+//
+//	{"seed": 42, "events": [
+//	  {"kind": "outage", "target": "predict", "from_ms": 3000, "until_ms": 5000}
+//	]}
 package main
 
 import (
@@ -56,6 +69,13 @@ func main() {
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		maxDeadline = flag.Duration("max-deadline", 2*time.Minute, "largest per-request deadline honored")
 		preload     = flag.String("preload", "", "comma-separated suites to warm at boot, as CLUSTERSPEC[/PROFILE] (e.g. 8xV100,8xA40/vision)")
+		shedTarget  = flag.Duration("shed-target", 0, "queue-delay target for overload shedding (default 150ms)")
+		shedIval    = flag.Duration("shed-interval", 0, "how long queue delay must exceed the target before shedding (default 1s)")
+		brThreshold = flag.Int("breaker-threshold", 0, "consecutive dependency failures that trip a circuit breaker (default 5)")
+		brProbe     = flag.Duration("breaker-probe", 0, "open-breaker probe interval (default 1s)")
+		degradeSize = flag.Int("degrade-cache", 0, "stale-result cache capacity for degraded answers (default 256)")
+		statePath   = flag.String("state", "", "trace-store snapshot path; restored at boot, written on capture/upload/drain")
+		chaosPath   = flag.String("chaos", "", "chaos plan JSON file: seeded fault injection at the predictor boundary (testing only)")
 		noWarm      = flag.Bool("no-warm", false, "skip estimator warm-up at boot (first learned request trains)")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		trainWork   = flag.Int("train-workers", runtime.GOMAXPROCS(0), "worker pool for estimator training")
@@ -81,6 +101,17 @@ func main() {
 		}
 	}
 
+	var chaosPlan *serve.ChaosPlan
+	if *chaosPath != "" {
+		f, err := os.Open(*chaosPath)
+		fatalIf(err)
+		chaosPlan, err = serve.ReadChaosPlan(f)
+		f.Close()
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "maya-serve: CHAOS PLAN ACTIVE (%s: seed %d, %d events) — testing only\n",
+			*chaosPath, chaosPlan.Seed, len(chaosPlan.Events))
+	}
+
 	srv, err := serve.New(serve.Config{
 		Cluster:          cluster,
 		Topology:         *topology,
@@ -95,6 +126,16 @@ func main() {
 		DefaultDeadline:  *deadline,
 		MaxDeadline:      *maxDeadline,
 		Preload:          preloadList,
+		ShedTarget:       *shedTarget,
+		ShedInterval:     *shedIval,
+		BreakerThreshold: *brThreshold,
+		BreakerProbe:     *brProbe,
+		DegradeCacheSize: *degradeSize,
+		StatePath:        *statePath,
+		Chaos:            chaosPlan,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 	fatalIf(err)
 	srv.Predictor().EstimatorCache().SetTrainWorkers(*trainWork)

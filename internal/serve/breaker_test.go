@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"maya/internal/prand"
+)
+
+// breakerClock is an injectable test clock.
+type breakerClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newBreakerClock() *breakerClock {
+	return &breakerClock{t: time.Unix(0, 0).UTC()}
+}
+
+func (c *breakerClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *breakerClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	clk := newBreakerClock()
+	b := NewBreaker("predict", 3, time.Second)
+	b.now = clk.now
+
+	// Closed: failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Observe(breakerFailure)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	// A success resets the streak.
+	b.Allow()
+	b.Observe(breakerSuccess)
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Observe(breakerFailure)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("success did not reset the failure streak: %v", got)
+	}
+
+	// The third consecutive failure trips it.
+	b.Allow()
+	b.Observe(breakerFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state at threshold = %v, want open", got)
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// Open: rejects without touching the dependency until the probe
+	// interval elapses.
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before the probe interval")
+	}
+	if got := b.Rejected(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	// Probe interval elapsed: exactly one probe is admitted.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after the interval")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("second call admitted while a probe is in flight")
+	}
+
+	// Probe failure re-opens for another full interval.
+	b.Observe(breakerFailure)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	clk.advance(time.Second / 2)
+	if b.Allow() {
+		t.Fatal("re-opened breaker probed after half the interval")
+	}
+
+	// Probe success closes the circuit and counts a recovery.
+	clk.advance(time.Second / 2)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.Observe(breakerSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if got := b.Recoveries(); got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	if got := b.Probes(); got != 2 {
+		t.Fatalf("probes = %d, want 2", got)
+	}
+}
+
+// An aborted probe (the caller's own cancellation) must release the
+// probe slot without closing or re-opening the circuit — otherwise
+// one cancelled client wedges the breaker half-open forever.
+func TestBreakerAbortedReleasesProbe(t *testing.T) {
+	clk := newBreakerClock()
+	b := NewBreaker("predict", 1, time.Second)
+	b.now = clk.now
+
+	b.Allow()
+	b.Observe(breakerFailure) // trip
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Observe(breakerAborted)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after aborted probe = %v, want half-open", got)
+	}
+	// The slot is free again: the next caller probes immediately.
+	if !b.Allow() {
+		t.Fatal("probe slot not released by the aborted outcome")
+	}
+	b.Observe(breakerSuccess)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestOutcomeOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want breakerOutcome
+	}{
+		{nil, breakerSuccess},
+		{context.Canceled, breakerAborted},
+		{context.DeadlineExceeded, breakerAborted},
+		{errors.New("boom"), breakerFailure},
+		{ErrChaosOutage, breakerFailure},
+	}
+	for _, c := range cases {
+		if got := outcomeOf(c.err); got != c.want {
+			t.Errorf("outcomeOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestBreakerHammer drives concurrent Allow/Observe pairs through
+// every transition under the race detector. The assertions are
+// invariants, not exact counts: the interleaving is nondeterministic,
+// the breaker's bookkeeping must not be.
+func TestBreakerHammer(t *testing.T) {
+	clk := newBreakerClock()
+	b := NewBreaker("predict", 3, time.Millisecond)
+	b.now = clk.now
+
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := prand.New(uint64(g) + 1)
+			for i := 0; i < iters; i++ {
+				if i%64 == 0 {
+					clk.advance(time.Millisecond)
+				}
+				if !b.Allow() {
+					continue
+				}
+				switch rng.Intn(3) {
+				case 0:
+					b.Observe(breakerSuccess)
+				case 1:
+					b.Observe(breakerFailure)
+				default:
+					b.Observe(breakerAborted)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("invalid final state %d", s)
+	}
+	if b.Trips() < b.Recoveries() {
+		t.Errorf("recoveries (%d) exceed trips (%d)", b.Recoveries(), b.Trips())
+	}
+	// Drive it back to a known state to prove it is not wedged.
+	for b.State() != BreakerClosed {
+		clk.advance(time.Millisecond)
+		if b.Allow() {
+			b.Observe(breakerSuccess)
+		}
+	}
+}

@@ -104,10 +104,17 @@ type Metrics struct {
 	Requests  atomic.Int64 // everything that reached the service layer
 	OK        atomic.Int64 // 200s
 	BadInput  atomic.Int64 // 400s
-	Throttled atomic.Int64 // 429s (per-tenant token bucket)
-	Rejected  atomic.Int64 // 503s (queue full or draining)
+	Throttled atomic.Int64 // 429s (tenant token bucket or overload shed)
+	Rejected  atomic.Int64 // 503s (queue full, breaker open or draining)
 	Deadline  atomic.Int64 // 504s (request deadline exceeded)
 	Failed    atomic.Int64 // 500s (pipeline errors)
+
+	// Resilience outcomes. Shed counts queue-delay/deadline-aware
+	// 429s from the Shedder (a subset of the 429s Throttled counts);
+	// Degraded counts stale results served with `"degraded": true`
+	// while shedding or with a breaker open.
+	Shed     atomic.Int64
+	Degraded atomic.Int64
 
 	// Predictions counts prediction items served (a batch of k counts
 	// k); Executed counts predictions actually run by a coalescing
@@ -132,7 +139,10 @@ type Metrics struct {
 	InFlight atomic.Int64
 
 	// Latency is end-to-end request latency (admission to response
-	// body); QueueWait is time spent waiting for a prediction worker.
-	Latency   histogram
-	QueueWait histogram
+	// body); QueueWait is time spent waiting for a prediction worker;
+	// QueueWaitAtReject records the estimated queue wait at each shed
+	// rejection — the delay the shedder refused to impose.
+	Latency           histogram
+	QueueWait         histogram
+	QueueWaitAtReject histogram
 }

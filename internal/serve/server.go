@@ -30,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,36 @@ type Config struct {
 	// "32xH100/llm"). The serving cluster's own suite is always
 	// warmed.
 	Preload []string
+
+	// ShedTarget and ShedInterval shape overload shedding: when the
+	// estimated queue wait stays above ShedTarget for ShedInterval,
+	// arrivals whose wait estimate is still above target are shed
+	// with 429 (CoDel-style); independently, a request whose estimate
+	// exceeds its own remaining deadline is shed immediately.
+	// Defaults: 150ms, 1s.
+	ShedTarget   time.Duration
+	ShedInterval time.Duration
+	// BreakerThreshold consecutive dependency failures trip the
+	// per-dependency circuit breakers; BreakerProbe is the open →
+	// half-open probe interval. Defaults: 5, 1s.
+	BreakerThreshold int
+	BreakerProbe     time.Duration
+	// DegradeCacheSize bounds the stale-result cache serving
+	// `"degraded": true` answers while shedding or with a breaker
+	// open (default 256).
+	DegradeCacheSize int
+	// StatePath, when set, persists the trace store there: an atomic
+	// snapshot after every accepted trace and on drain, restored at
+	// boot with per-entry checksum validation (corrupt entries are
+	// skipped, not fatal).
+	StatePath string
+	// Chaos, when set, wraps the predictor dependency in a
+	// fault-injecting shim driven by the plan — the test-only chaos
+	// harness behind cmd/maya-serve's -chaos flag.
+	Chaos *ChaosPlan
+	// Logf, when set, receives operational log lines (evictions,
+	// snapshot recovery problems). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server is the service instance: one predictor, its caches, and the
@@ -85,6 +116,8 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	pred    *maya.Predictor
+	backend backend // the predictor, or the chaos shim around it
+	chaos   *chaosBackend
 	adm     *Admission
 	pool    *Pool
 	co      *coalescer
@@ -94,6 +127,15 @@ type Server struct {
 	build   buildinfo.Info
 	started time.Time
 
+	// Resilience layer: queue-delay shedding, per-dependency circuit
+	// breakers and the stale-result degradation cache.
+	shed      *Shedder
+	pbreaker  *Breaker // guards Predict
+	cbreaker  *Breaker // guards Capture
+	degrade   *degradeCache
+	snapStats SnapshotStats
+	stateMu   sync.Mutex // serializes snapshot writes
+
 	draining atomic.Bool
 
 	// testGate, when set (tests only), is called by each coalescing
@@ -101,6 +143,21 @@ type Server struct {
 	// lets tests pile provably-concurrent identical requests onto one
 	// leader.
 	testGate func()
+}
+
+// Resilience defaults, shared with the virtual-time harness.
+const (
+	defaultShedTarget       = 150 * time.Millisecond
+	defaultShedInterval     = time.Second
+	defaultBreakerThreshold = 5
+	defaultBreakerProbe     = time.Second
+)
+
+// logfTo logs through an optional sink.
+func logfTo(logf func(string, ...any), format string, args ...any) {
+	if logf != nil {
+		logf(format, args...)
+	}
 }
 
 // New builds a Server for the cluster. It trains nothing: call Warm
@@ -128,6 +185,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxDeadline <= 0 {
 		cfg.MaxDeadline = 2 * time.Minute
 	}
+	if cfg.ShedTarget <= 0 {
+		cfg.ShedTarget = defaultShedTarget
+	}
+	if cfg.ShedInterval <= 0 {
+		cfg.ShedInterval = defaultShedInterval
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = defaultBreakerThreshold
+	}
+	if cfg.BreakerProbe <= 0 {
+		cfg.BreakerProbe = defaultBreakerProbe
+	}
+	if cfg.DegradeCacheSize <= 0 {
+		cfg.DegradeCacheSize = 256
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	popts := []maya.PredictorOption{
 		maya.WithEstimatorCache(maya.NewEstimatorCache()),
 		maya.WithCaptureCache(maya.NewCaptureCache(cfg.CaptureCacheSize)),
@@ -140,17 +217,46 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	store := newTraceStore(cfg.TraceStoreSize)
+	var snapStats SnapshotStats
+	if cfg.StatePath != "" {
+		var err error
+		store, snapStats, err = restoreTraceStore(cfg.StatePath, cfg.TraceStoreSize)
+		if err != nil {
+			// A broken snapshot must never keep the service down:
+			// serve with whatever recovered, and say so.
+			logfTo(cfg.Logf, "serve: trace-store snapshot %s: %v (recovered %d, skipped %d)",
+				cfg.StatePath, err, snapStats.Loaded, snapStats.Skipped)
+		} else if snapStats.EntryErr != nil {
+			logfTo(cfg.Logf, "serve: trace-store snapshot %s: %v (recovered %d, skipped %d)",
+				cfg.StatePath, snapStats.EntryErr, snapStats.Loaded, snapStats.Skipped)
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		pred:    pred,
-		adm:     NewAdmission(cfg.Queue, cfg.TenantRate, cfg.TenantBurst),
-		pool:    NewPool(cfg.Workers),
-		co:      newCoalescer(),
-		metrics: &Metrics{},
-		store:   newTraceStore(cfg.TraceStoreSize),
-		mux:     http.NewServeMux(),
-		build:   buildinfo.Get(),
-		started: time.Now(),
+		cfg:      cfg,
+		pred:     pred,
+		backend:  pred,
+		adm:      NewAdmission(cfg.Queue, cfg.TenantRate, cfg.TenantBurst),
+		pool:     NewPool(cfg.Workers),
+		co:       newCoalescer(),
+		metrics:  &Metrics{},
+		store:    store,
+		mux:      http.NewServeMux(),
+		build:    buildinfo.Get(),
+		started:  time.Now(),
+		shed:     NewShedder(cfg.ShedTarget, cfg.ShedInterval),
+		pbreaker: NewBreaker("predict", cfg.BreakerThreshold, cfg.BreakerProbe),
+		cbreaker: NewBreaker("capture", cfg.BreakerThreshold, cfg.BreakerProbe),
+		degrade:  newDegradeCache(cfg.DegradeCacheSize),
+	}
+	s.snapStats = snapStats
+	s.store.onEvict = func(meta TraceMeta) {
+		logfTo(cfg.Logf, "serve: trace store at capacity, evicted %s (%s on %s, %d bytes)",
+			meta.Fingerprint, meta.Workload, meta.Cluster, meta.SizeBytes)
+	}
+	if cfg.Chaos != nil {
+		s.chaos = newChaosBackend(pred, cfg.Chaos)
+		s.backend = s.chaos
 	}
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/capture", s.handleCapture)
@@ -195,11 +301,30 @@ func (s *Server) Warm(ctx context.Context) error {
 	return nil
 }
 
+// persistState snapshots the trace store to StatePath (atomic
+// temp-file + rename). A no-op when persistence is off; write
+// problems are logged, never surfaced to the request that triggered
+// the snapshot — durability is best-effort, serving is not.
+func (s *Server) persistState() {
+	if s.cfg.StatePath == "" {
+		return
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if err := s.store.persist(s.cfg.StatePath); err != nil {
+		logfTo(s.cfg.Logf, "serve: persisting trace store: %v", err)
+	}
+}
+
 // Drain flips the server into drain mode: new requests are refused
 // with 503 (and /healthz reports draining, so balancers stop routing)
-// while in-flight requests run to completion. Pair it with
-// http.Server.Shutdown, which waits for those in-flight handlers.
-func (s *Server) Drain() { s.draining.Store(true) }
+// while in-flight requests run to completion, and the trace store is
+// snapshotted a final time. Pair it with http.Server.Shutdown, which
+// waits for those in-flight handlers.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.persistState()
+}
 
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -291,12 +416,19 @@ func (s *Server) countStatus(status int) {
 // request shared a coalesced execution, and how long the executing
 // leader waited for a worker).
 type PredictResult struct {
-	Report      *maya.Report `json:"report,omitempty"`
-	Error       string       `json:"error,omitempty"`
-	Coalesced   bool         `json:"coalesced,omitempty"`
-	QueueWaitMS float64      `json:"queue_wait_ms"`
+	Report    *maya.Report `json:"report,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	// Degraded marks a stale cached report served because the service
+	// was shedding or the predictor breaker was open; StaleMS is the
+	// result's age.
+	Degraded    bool    `json:"degraded,omitempty"`
+	StaleMS     float64 `json:"stale_ms,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
 
-	status int // internal: HTTP status this result maps to
+	status      int    // internal: HTTP status this result maps to
+	shed        string // internal: shed verdict, sent as X-Maya-Shed
+	retryAfterS int    // internal: Retry-After seconds on shed 429s
 }
 
 // batchEnvelope is the wire form of a batch predict call.
@@ -423,6 +555,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	res := results[0]
 	s.countStatus(res.status)
+	if res.shed != "" {
+		w.Header().Set("X-Maya-Shed", res.shed)
+	}
+	if res.retryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfterS))
+	}
 	writeJSON(w, res.status, res)
 }
 
@@ -433,12 +571,32 @@ func (s *Server) recovered(v any) error {
 	return fmt.Errorf("internal error: prediction panicked: %v", v)
 }
 
-// predictOne runs one spec through coalesce → pool → predict. Panics
-// are recovered into 500s at two layers: inside the pool closure, so
-// a crashing leader still completes its coalescing flight (followers
-// get the error instead of waiting on a flight that never finishes),
-// and around the whole path, because batch items run on their own
-// goroutines where an unrecovered panic kills the process.
+// degradedResult answers with the stale cached report for key, marked
+// degraded, when one exists — the graceful path behind an open
+// breaker or an overloaded queue.
+func (s *Server) degradedResult(key string) (PredictResult, bool) {
+	rep, age, ok := s.degrade.get(key)
+	if !ok {
+		return PredictResult{}, false
+	}
+	s.metrics.Degraded.Add(1)
+	s.degrade.serves.Add(1)
+	return PredictResult{
+		Report:   rep,
+		Degraded: true,
+		StaleMS:  float64(age.Nanoseconds()) / 1e6,
+		status:   http.StatusOK,
+	}, true
+}
+
+// predictOne runs one spec through shed → breaker → coalesce → pool →
+// predict. Panics are recovered into 500s at two layers: inside the
+// pool closure, so a crashing leader still completes its coalescing
+// flight (followers get the error instead of waiting on a flight that
+// never finishes), and around the whole path, because batch items run
+// on their own goroutines where an unrecovered panic kills the
+// process. Shed and breaker rejections fall back to the stale-result
+// cache before answering 429/503.
 func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) (res PredictResult) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -451,6 +609,44 @@ func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) (res Predict
 		return PredictResult{Error: err.Error(), status: http.StatusBadRequest}
 	}
 	key := spec.predictKey(s.cfg.Cluster, w)
+
+	// Overload shedding: estimate the queue wait this request would
+	// face and refuse early — stale answer if we have one, 429 with a
+	// Retry-After hint otherwise — rather than let it rot in the queue.
+	est := s.shed.EstimateWait(s.adm.Depth(), s.pool.Workers())
+	var remaining time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	if v := s.shed.Decide(est, remaining); v != ShedAdmit {
+		s.metrics.Shed.Add(1)
+		s.metrics.QueueWaitAtReject.observe(float64(est.Nanoseconds()) / 1e6)
+		if res, ok := s.degradedResult(key); ok {
+			res.shed = v.String()
+			return res
+		}
+		msg := fmt.Sprintf("overloaded: estimated queue wait %v above target %v",
+			est.Round(time.Millisecond), s.shed.Target())
+		if v == ShedDeadline {
+			msg = fmt.Sprintf("estimated queue wait %v exceeds remaining deadline %v",
+				est.Round(time.Millisecond), remaining.Round(time.Millisecond))
+		}
+		return PredictResult{
+			Error:       msg,
+			status:      http.StatusTooManyRequests,
+			shed:        v.String(),
+			retryAfterS: retryAfterS(est),
+		}
+	}
+
+	// Circuit breaker: a broken predictor fails fast into the stale
+	// cache instead of burning pool slots on doomed calls.
+	if !s.pbreaker.Allow() {
+		if res, ok := s.degradedResult(key); ok {
+			return res
+		}
+		return PredictResult{Error: "predictor circuit open", status: http.StatusServiceUnavailable}
+	}
 	out, shared, err := s.co.do(ctx, key, func() (*predictOutcome, error) {
 		o := &predictOutcome{}
 		var perr error
@@ -467,19 +663,27 @@ func (s *Server) predictOne(ctx context.Context, spec *PredictSpec) (res Predict
 				s.testGate()
 			}
 			s.metrics.Executed.Add(1)
-			o.report, perr = s.pred.Predict(ctx, w, opts...)
+			execStart := time.Now()
+			o.report, perr = s.backend.Predict(ctx, w, opts...)
+			s.shed.Observe(time.Since(execStart))
 		})
 		if runErr != nil {
 			return nil, runErr
 		}
 		return o, perr
 	})
+	// Every Allow()ed caller observes — including coalescing followers,
+	// whose shared error is evidence too, and crucially a half-open
+	// probe whose caller got cancelled (aborted releases the probe slot
+	// so the breaker cannot wedge half-open).
+	s.pbreaker.Observe(outcomeOf(err))
 	if shared {
 		s.metrics.Coalesced.Add(1)
 	}
 	if err != nil {
 		return PredictResult{Error: err.Error(), Coalesced: shared, status: statusFor(err)}
 	}
+	s.degrade.put(key, out.report)
 	return PredictResult{
 		Report:      out.report,
 		Coalesced:   shared,
@@ -536,6 +740,11 @@ func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if !s.cbreaker.Allow() {
+		s.countStatus(http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, "capture circuit open")
+		return
+	}
 	var tr *maya.Trace
 	var capErr error
 	var capOpts []maya.PredictOption
@@ -548,10 +757,11 @@ func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
 				capErr = s.recovered(v)
 			}
 		}()
-		tr, capErr = s.pred.Capture(ctx, wl, capOpts...)
+		tr, capErr = s.backend.Capture(ctx, wl, capOpts...)
 	}); runErr != nil {
 		capErr = runErr
 	}
+	s.cbreaker.Observe(outcomeOf(capErr))
 	if capErr != nil {
 		status := statusFor(capErr)
 		s.countStatus(status)
@@ -575,6 +785,7 @@ func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
 		SizeBytes:     buf.Len(),
 	}
 	s.store.put(buf.Bytes(), meta)
+	s.persistState()
 	s.metrics.Captures.Add(1)
 	s.countStatus(http.StatusOK)
 	writeJSON(w, http.StatusOK, meta)
@@ -635,6 +846,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		SizeBytes:     len(raw),
 	}
 	s.store.put(raw, meta)
+	s.persistState()
 	s.metrics.TraceUploads.Add(1)
 	s.countStatus(http.StatusOK)
 	writeJSON(w, http.StatusOK, meta)
@@ -653,6 +865,15 @@ type healthzBody struct {
 	EstimatorCache maya.CacheStats        `json:"estimator_cache"`
 	CaptureCache   maya.CaptureCacheStats `json:"capture_cache"`
 	TracesStored   int                    `json:"traces_stored"`
+
+	// Resilience state: whether overload shedding is active, each
+	// dependency breaker's position, how many identities have a stale
+	// fallback, and what boot recovery found in the snapshot.
+	Shedding        bool              `json:"shedding"`
+	Breakers        map[string]string `json:"breakers"`
+	DegradeEntries  int               `json:"degrade_entries"`
+	TracesRecovered int               `json:"traces_recovered"`
+	TracesSkipped   int               `json:"traces_skipped"`
 }
 
 // handleHealthz serves GET /healthz. A draining server answers 503 so
@@ -674,6 +895,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		EstimatorCache: s.pred.EstimatorCache().Stats(),
 		CaptureCache:   s.pred.CaptureCache().Stats(),
 		TracesStored:   s.store.len(),
+		Shedding:       s.shed.Shedding(),
+		Breakers: map[string]string{
+			s.pbreaker.Name(): s.pbreaker.State().String(),
+			s.cbreaker.Name(): s.cbreaker.State().String(),
+		},
+		DegradeEntries:  s.degrade.len(),
+		TracesRecovered: s.snapStats.Loaded,
+		TracesSkipped:   s.snapStats.Skipped,
 	})
 }
 
@@ -708,6 +937,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("maya_serve_admission_depth", int64(s.adm.Depth()))
 	counter("maya_serve_admission_capacity", int64(s.adm.Capacity()))
 	counter("maya_serve_traces_stored", int64(s.store.len()))
+	counter("maya_serve_trace_store_evictions_total", s.store.Evictions())
 	fmt.Fprintf(&b, "maya_serve_uptime_seconds %g\n", time.Since(s.started).Seconds())
 	draining := int64(0)
 	if s.draining.Load() {
@@ -730,8 +960,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("maya_capture_cache_errors_total", cs.Errors)
 	counter("maya_capture_cache_entries", int64(cs.Entries))
 
+	// Resilience: shedding, per-dependency breakers, degradation.
+	counter("maya_serve_shed_total", m.Shed.Load())
+	counter("maya_serve_degraded_total", m.Degraded.Load())
+	shedding := int64(0)
+	if s.shed.Shedding() {
+		shedding = 1
+	}
+	counter("maya_serve_shedding", shedding)
+	for _, br := range []*Breaker{s.pbreaker, s.cbreaker} {
+		fmt.Fprintf(&b, "maya_serve_breaker_state{dep=%q} %d\n", br.Name(), int(br.State()))
+		fmt.Fprintf(&b, "maya_serve_breaker_trips_total{dep=%q} %d\n", br.Name(), br.Trips())
+		fmt.Fprintf(&b, "maya_serve_breaker_probes_total{dep=%q} %d\n", br.Name(), br.Probes())
+		fmt.Fprintf(&b, "maya_serve_breaker_recoveries_total{dep=%q} %d\n", br.Name(), br.Recoveries())
+		fmt.Fprintf(&b, "maya_serve_breaker_rejected_total{dep=%q} %d\n", br.Name(), br.Rejected())
+	}
+	counter("maya_serve_degrade_cache_entries", int64(s.degrade.len()))
+	counter("maya_serve_degrade_hits_total", s.degrade.hits.Load())
+	counter("maya_serve_degrade_misses_total", s.degrade.misses.Load())
+	if s.chaos != nil {
+		counter("maya_serve_chaos_injected_total", s.chaos.injected.Load())
+	}
+
 	m.Latency.writeProm(&b, "maya_serve_latency_seconds")
 	m.QueueWait.writeProm(&b, "maya_serve_queue_wait_seconds")
+	m.QueueWaitAtReject.writeProm(&b, "maya_serve_queue_wait_at_reject_seconds")
 
 	fmt.Fprintf(&b, "maya_serve_topology_info{topology=%q} 1\n", s.pred.Topology())
 	congested := int64(0)

@@ -407,6 +407,19 @@ func TestMetricsAndHealthz(t *testing.T) {
 		"maya_serve_latency_seconds_count 1",
 		"maya_serve_pool_workers 4",
 		"maya_build_info",
+		// Resilience series: breaker state per dependency, shed and
+		// degraded counters, the queue-wait-at-rejection histogram and
+		// the trace-store eviction counter.
+		`maya_serve_breaker_state{dep="predict"} 0`,
+		`maya_serve_breaker_state{dep="capture"} 0`,
+		`maya_serve_breaker_trips_total{dep="predict"} 0`,
+		`maya_serve_breaker_recoveries_total{dep="predict"} 0`,
+		"maya_serve_shed_total 0",
+		"maya_serve_degraded_total 0",
+		"maya_serve_shedding 0",
+		"maya_serve_queue_wait_at_reject_seconds_count 0",
+		"maya_serve_trace_store_evictions_total 0",
+		"maya_serve_degrade_cache_entries 1",
 	} {
 		if !strings.Contains(text, metric) {
 			t.Errorf("/metrics missing %q\n%s", metric, text)
@@ -434,6 +447,15 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	if hb.CaptureCache.Misses != 1 {
 		t.Errorf("healthz capture cache misses = %d, want 1", hb.CaptureCache.Misses)
+	}
+	if hb.Shedding {
+		t.Error("healthz reports shedding on an idle server")
+	}
+	if hb.Breakers["predict"] != "closed" || hb.Breakers["capture"] != "closed" {
+		t.Errorf("healthz breakers = %v, want both closed", hb.Breakers)
+	}
+	if hb.DegradeEntries != 1 {
+		t.Errorf("healthz degrade entries = %d, want 1 (the predict above)", hb.DegradeEntries)
 	}
 
 	// Drain: /healthz flips to 503/"draining", predicts are refused.

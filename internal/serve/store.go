@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // TraceMeta describes one stored trace, the JSON shape /v1/capture
@@ -37,6 +38,12 @@ type traceStore struct {
 	max     int
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
+
+	// evictions counts entries dropped at capacity; onEvict, when
+	// set, observes each one (metrics + logging — it must not
+	// re-enter the store, as it runs under the lock).
+	evictions atomic.Int64
+	onEvict   func(meta TraceMeta)
 }
 
 type storedTrace struct {
@@ -72,9 +79,17 @@ func (s *traceStore) put(raw []byte, meta TraceMeta) {
 	for s.lru.Len() > s.max {
 		back := s.lru.Back()
 		s.lru.Remove(back)
-		delete(s.entries, back.Value.(*storedTrace).meta.Fingerprint)
+		evicted := back.Value.(*storedTrace).meta
+		delete(s.entries, evicted.Fingerprint)
+		s.evictions.Add(1)
+		if s.onEvict != nil {
+			s.onEvict(evicted)
+		}
 	}
 }
+
+// Evictions counts entries dropped at capacity since boot.
+func (s *traceStore) Evictions() int64 { return s.evictions.Load() }
 
 // get returns the stored trace for a fingerprint, refreshing its
 // recency.
